@@ -1,0 +1,172 @@
+//! ADDGEN: the test address generator.
+//!
+//! Paper §V: "the test address generator ADDGEN needs to generate a
+//! forward as well as a reverse addressing sequence. Consequently, it is
+//! implemented as a binary up/down counter." This module models that
+//! counter at the bit level — register bits plus a ripple carry/borrow
+//! chain — so that the controller tests exercise the same terminal-count
+//! conditions the hardware exposes.
+
+/// A binary up/down counter of `width` bits with terminal-count outputs.
+///
+/// ```
+/// use bisram_bist::addgen::UpDownCounter;
+/// let mut c = UpDownCounter::new(4);
+/// c.step_up();
+/// c.step_up();
+/// assert_eq!(c.value(), 2);
+/// c.load_max();
+/// assert!(c.at_max());
+/// c.step_down();
+/// assert_eq!(c.value(), 14);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpDownCounter {
+    bits: Vec<bool>,
+}
+
+impl UpDownCounter {
+    /// Creates a counter of `width` bits, cleared to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or above 64.
+    pub fn new(width: u32) -> Self {
+        assert!(width >= 1 && width <= 64, "counter width out of range");
+        UpDownCounter {
+            bits: vec![false; width as usize],
+        }
+    }
+
+    /// Counter width in bits.
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, b)| acc | ((*b as u64) << i))
+    }
+
+    /// Loads zero (the up-sweep start address).
+    pub fn load_zero(&mut self) {
+        self.bits.fill(false);
+    }
+
+    /// Loads the all-ones terminal value (the down-sweep start address).
+    pub fn load_max(&mut self) {
+        self.bits.fill(true);
+    }
+
+    /// True at the all-ones value (up-sweep terminal count).
+    pub fn at_max(&self) -> bool {
+        self.bits.iter().all(|b| *b)
+    }
+
+    /// True at zero (down-sweep terminal count).
+    pub fn at_zero(&self) -> bool {
+        self.bits.iter().all(|b| !*b)
+    }
+
+    /// Increments with a ripple carry (wraps at the top).
+    pub fn step_up(&mut self) {
+        let mut carry = true;
+        for b in &mut self.bits {
+            let sum = *b != carry;
+            carry = *b && carry;
+            *b = sum;
+        }
+    }
+
+    /// Decrements with a ripple borrow (wraps at zero).
+    pub fn step_down(&mut self) {
+        let mut borrow = true;
+        for b in &mut self.bits {
+            let diff = *b != borrow;
+            borrow = !*b && borrow;
+            *b = diff;
+        }
+    }
+}
+
+impl std::fmt::Display for UpDownCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ADDGEN[{}]={}", self.width(), self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_up_through_full_range() {
+        let mut c = UpDownCounter::new(4);
+        for expect in 0..16u64 {
+            assert_eq!(c.value(), expect);
+            assert_eq!(c.at_max(), expect == 15);
+            c.step_up();
+        }
+        // Wraps.
+        assert_eq!(c.value(), 0);
+        assert!(c.at_zero());
+    }
+
+    #[test]
+    fn counts_down_through_full_range() {
+        let mut c = UpDownCounter::new(4);
+        c.load_max();
+        for expect in (0..16u64).rev() {
+            assert_eq!(c.value(), expect);
+            assert_eq!(c.at_zero(), expect == 0);
+            c.step_down();
+        }
+        assert_eq!(c.value(), 15);
+    }
+
+    #[test]
+    fn loads() {
+        let mut c = UpDownCounter::new(10);
+        c.load_max();
+        assert_eq!(c.value(), 1023);
+        c.load_zero();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_rejected() {
+        UpDownCounter::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_arithmetic(width in 1u32..16, steps in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut c = UpDownCounter::new(width);
+            let modulus = 1u64 << width;
+            let mut reference: u64 = 0;
+            for up in steps {
+                if up {
+                    c.step_up();
+                    reference = (reference + 1) % modulus;
+                } else {
+                    c.step_down();
+                    reference = (reference + modulus - 1) % modulus;
+                }
+                prop_assert_eq!(c.value(), reference);
+            }
+        }
+
+        #[test]
+        fn up_then_down_is_identity(width in 1u32..16, n in 0u64..100) {
+            let mut c = UpDownCounter::new(width);
+            for _ in 0..n { c.step_up(); }
+            for _ in 0..n { c.step_down(); }
+            prop_assert!(c.at_zero());
+        }
+    }
+}

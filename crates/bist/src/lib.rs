@@ -1,0 +1,71 @@
+//! Built-in self-test for the BISRAMGEN reproduction.
+//!
+//! Paper §V: BISRAMGEN uses a low-area-overhead, *microprogrammed* BIST
+//! design applying the IFA-9 test to the RAM array. The microprogrammed
+//! control unit — the Test and Repair Controller PLA (`TRPLA`) — is a
+//! pseudo-NMOS NOR–NOR PLA whose control code is read at run time from
+//! two input files (one per plane). The test circuitry further contains a
+//! test address generator (`ADDGEN`, a binary up/down counter) and a test
+//! data background generator (`DATAGEN`, a Johnson counter that also
+//! compares read data against expectations with XOR gates and a wide OR).
+//!
+//! This crate models all of it:
+//!
+//! * [`march`] — march-test notation and the test library (IFA-9, IFA-13,
+//!   MATS+, March C-, March B),
+//! * [`addgen`] — the up/down address counter, bit-level,
+//! * [`datagen`] — the Johnson counter, the background schedule and the
+//!   comparator,
+//! * [`trpla`] — the microprogram assembler, the PLA personality matrices
+//!   (with the two-file export/import of the paper) and a PLA-driven FSM,
+//! * [`engine`] — march execution against [`bisram_mem::SramModel`],
+//!   through an optional row-address translation hook (the BISR TLB
+//!   plugs in here),
+//! * [`coverage`] — fault-injection campaigns measuring fault coverage
+//!   per fault class.
+//!
+//! # Examples
+//!
+//! ```
+//! use bisram_bist::march;
+//! use bisram_bist::engine::{run_march, MarchConfig};
+//! use bisram_mem::{ArrayOrg, SramModel, Fault, FaultKind};
+//!
+//! let org = ArrayOrg::new(256, 8, 4, 0)?;
+//! let mut ram = SramModel::new(org);
+//! ram.inject(Fault::new(17, FaultKind::StuckAt(true)));
+//!
+//! let outcome = run_march(&march::ifa9(), &mut ram, &MarchConfig::default(), None);
+//! assert!(outcome.detected());
+//! # Ok::<(), bisram_mem::OrgError>(())
+//! ```
+
+pub mod addgen;
+pub mod coverage;
+pub mod datagen;
+pub mod engine;
+pub mod march;
+pub mod parse;
+pub mod transparent;
+pub mod trpla;
+
+/// Row-address translation hook.
+///
+/// During the second BIST pass — and during normal operation — the BISR
+/// TLB diverts accesses aimed at faulty rows to spare rows. The engine
+/// performs every memory access through this trait; `None` (or the
+/// identity map) means no repair is active.
+pub trait RowMap {
+    /// Maps a logical row index to the physical row to access.
+    fn map_row(&self, row: usize) -> usize;
+}
+
+/// The identity map: no repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityMap;
+
+impl RowMap for IdentityMap {
+    fn map_row(&self, row: usize) -> usize {
+        row
+    }
+}

@@ -1,0 +1,187 @@
+//! Parsing march tests from their textual notation.
+//!
+//! The TRPLA's control code "is read in at runtime ... changing these
+//! files to implement a different test algorithm is a simple and
+//! straightforward matter" (paper §V). This module makes that workflow
+//! ergonomic end-to-end: a march test written in the standard notation
+//! parses into a [`MarchTest`], which assembles into a control program,
+//! which synthesizes into the two personality files.
+//!
+//! Accepted grammar (ASCII or unicode arrows):
+//!
+//! ```text
+//! test     := element (';' element)*
+//! element  := arrow '(' op (',' op)* ')' | 'Delay'
+//! arrow    := '^' | 'v' | '$' | '⇑' | '⇓' | '⇕'
+//! op       := 'r0' | 'r1' | 'w0' | 'w1'
+//! ```
+//!
+//! Whitespace is free; `Delay` is case-insensitive.
+
+use crate::march::{AddrOrder, MarchElement, MarchOp, MarchTest};
+
+/// Error produced when parsing march notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMarchError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseMarchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "march syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseMarchError {}
+
+/// Parses a march test from its notation.
+///
+/// # Errors
+///
+/// Returns [`ParseMarchError`] on malformed notation.
+///
+/// ```
+/// use bisram_bist::parse::parse_march;
+/// let t = parse_march("mytest", "$(w0); ^(r0,w1); v(r1,w0)")?;
+/// assert_eq!(t.ops_per_address(), 5);
+/// # Ok::<(), bisram_bist::parse::ParseMarchError>(())
+/// ```
+pub fn parse_march(name: &str, text: &str) -> Result<MarchTest, ParseMarchError> {
+    let mut elements = Vec::new();
+    for raw in text.split(';') {
+        let chunk = raw.trim();
+        if chunk.is_empty() {
+            continue;
+        }
+        let offset = offset_of(text, raw);
+        if chunk.eq_ignore_ascii_case("delay") {
+            elements.push(MarchElement::Delay);
+            continue;
+        }
+        let mut chars = chunk.char_indices();
+        let (_, arrow) = chars.next().ok_or_else(|| ParseMarchError {
+            offset,
+            message: "empty element".to_owned(),
+        })?;
+        let order = match arrow {
+            '^' | '⇑' => AddrOrder::Up,
+            'v' | 'V' | '⇓' => AddrOrder::Down,
+            '$' | '⇕' => AddrOrder::Either,
+            c => {
+                return Err(ParseMarchError {
+                    offset,
+                    message: format!("expected an address-order arrow (^ v $), found {c:?}"),
+                })
+            }
+        };
+        let rest = chars.as_str().trim();
+        let body = rest
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| ParseMarchError {
+                offset,
+                message: "element body must be parenthesized, e.g. ^(r0,w1)".to_owned(),
+            })?;
+        let mut ops = Vec::new();
+        for op_txt in body.split(',') {
+            let op = match op_txt.trim() {
+                "r0" | "R0" => MarchOp::R0,
+                "r1" | "R1" => MarchOp::R1,
+                "w0" | "W0" => MarchOp::W0,
+                "w1" | "W1" => MarchOp::W1,
+                other => {
+                    return Err(ParseMarchError {
+                        offset,
+                        message: format!("unknown operation {other:?} (expected r0/r1/w0/w1)"),
+                    })
+                }
+            };
+            ops.push(op);
+        }
+        if ops.is_empty() {
+            return Err(ParseMarchError {
+                offset,
+                message: "element has no operations".to_owned(),
+            });
+        }
+        elements.push(MarchElement::Sweep { order, ops });
+    }
+    if elements.is_empty() {
+        return Err(ParseMarchError {
+            offset: 0,
+            message: "march test has no elements".to_owned(),
+        });
+    }
+    Ok(MarchTest::new(name, elements))
+}
+
+fn offset_of(haystack: &str, needle: &str) -> usize {
+    // `needle` is a subslice of `haystack` by construction.
+    needle.as_ptr() as usize - haystack.as_ptr() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::march;
+
+    #[test]
+    fn library_tests_roundtrip_through_their_notation() {
+        for t in march::library() {
+            // Display renders `NAME: body`; parse the body back.
+            let s = t.to_string();
+            let body = s.split_once(": ").expect("display format").1;
+            let parsed = parse_march(t.name(), body).expect("library notation parses");
+            assert_eq!(parsed, t, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn unicode_arrows_accepted() {
+        let t = parse_march("u", "⇕(w0); ⇑(r0,w1); ⇓(r1)").unwrap();
+        assert_eq!(t.elements().len(), 3);
+        assert_eq!(t.ops_per_address(), 4);
+    }
+
+    #[test]
+    fn delay_elements_and_case_insensitivity() {
+        let t = parse_march("d", "$(w0); DELAY; ^(R1)").unwrap();
+        assert_eq!(t.delay_count(), 1);
+        assert_eq!(t.ops_per_address(), 2);
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let e = parse_march("x", "^(r0); q(w1)").unwrap_err();
+        assert!(e.message.contains("arrow"), "{e}");
+        assert!(e.offset > 0);
+
+        let e = parse_march("x", "^(r2)").unwrap_err();
+        assert!(e.message.contains("unknown operation"));
+
+        let e = parse_march("x", "^r0").unwrap_err();
+        assert!(e.message.contains("parenthesized"));
+
+        let e = parse_march("x", "^()").unwrap_err();
+        assert!(e.message.contains("unknown operation") || e.message.contains("no operations"));
+
+        let e = parse_march("x", "  ;  ; ").unwrap_err();
+        assert!(e.message.contains("no elements"));
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn parsed_test_drives_the_whole_pipeline() {
+        // Notation -> test -> controller -> PLA -> planes -> PLA again.
+        let t = parse_march("custom", "$(w0); ^(r0,w1); ^(r1)").unwrap();
+        let program = crate::trpla::assemble(&t);
+        assert!(program.state_count() > 10);
+        let pla = program.synthesize_pla();
+        let (a, o) = pla.export_planes();
+        let back = crate::trpla::Pla::import_planes(&a, &o).unwrap();
+        assert_eq!(back, pla);
+    }
+}

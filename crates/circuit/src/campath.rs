@@ -1,0 +1,149 @@
+//! Delay of the TLB's parallel CAM compare path.
+//!
+//! Paper §VI: "The TLB produces a modest delay penalty (of about 1.2 ns
+//! with four spare rows and a 0.7-µm technology) for matching and
+//! mapping the incoming addresses during normal operation. This small
+//! delay, which is at least an order of magnitude smaller than the RAM
+//! access time, will not result in stretching of the RAM access time."
+//!
+//! The modelled path: address buffer → per-bit XOR comparators (in
+//! parallel across all TLB entries) → dynamic match-line discharge
+//! (wired-NOR of `row_bits` pulldowns along the CAM row) → spare-select
+//! priority tree → spare word-line driver. Buffers and gates use logical
+//! effort; the match line uses Elmore delay with layout-derived wire
+//! parasitics (the CAM bit cell is 34λ wide).
+
+use crate::elmore;
+use crate::le::{self, GateType, Path};
+use bisram_tech::Process;
+
+/// Breakdown of the TLB compare-and-map delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TlbTiming {
+    /// Address buffering + XOR comparison (logical effort), seconds.
+    pub compare_s: f64,
+    /// Match-line discharge (Elmore), seconds.
+    pub match_line_s: f64,
+    /// Spare-select priority tree + word-line redrive, seconds.
+    pub select_s: f64,
+}
+
+impl TlbTiming {
+    /// Total path delay.
+    pub fn total_s(&self) -> f64 {
+        self.compare_s + self.match_line_s + self.select_s
+    }
+}
+
+/// Evaluates the TLB compare path for an array with `row_bits` row
+/// address bits and `spares` TLB entries.
+///
+/// # Panics
+///
+/// Panics for zero `row_bits` or `spares`.
+pub fn tlb_delay(process: &Process, row_bits: u32, spares: usize) -> TlbTiming {
+    assert!(row_bits >= 1, "need at least one address bit");
+    assert!(spares >= 1, "need at least one TLB entry");
+    let dev = process.devices();
+    let lgate = process.gate_length_m();
+    let tau = le::tau(dev, lgate);
+    let lambda_m = process.rules().lambda() as f64 * 1e-9;
+
+    // 1. Address buffer drives one XOR input per entry; buffer it in
+    //    effort-4 stages.
+    let branch = (2 * spares) as f64; // true + complement comparators
+    let stages = Path::optimum_stage_count(branch);
+    let per_stage_fanout = branch.powf(1.0 / stages as f64);
+    let mut compare = Path::new(tau);
+    for _ in 0..stages {
+        compare = compare.stage(GateType::Inverter, per_stage_fanout);
+    }
+    // XOR comparator driving its match-line pulldown.
+    compare = compare.stage(GateType::Xor2, 2.0);
+    let compare_s = compare.delay_s();
+
+    // 2. Match line: a metal1 line across `row_bits` CAM bits (34λ
+    //    pitch), discharged through one pulldown, loaded by every bit's
+    //    junction capacitance.
+    let pulldown_w = 4.0 * lambda_m;
+    let r_pd = dev.r_eff_n(pulldown_w, lgate);
+    let bit_pitch = 34.0 * lambda_m;
+    let line_len = row_bits as f64 * bit_pitch;
+    let wire_w = 3.0 * lambda_m;
+    let r_wire = dev.rsh_metal * line_len / wire_w;
+    let c_wire = dev.cw_metal * line_len;
+    let c_junctions = row_bits as f64 * dev.c_drain(pulldown_w, 3.0 * lambda_m);
+    // Sense inverter at the end of the line.
+    let c_sense = dev.c_gate(6.0 * lambda_m, lgate);
+    let match_line_s =
+        r_pd * (c_wire + c_junctions + c_sense) + elmore::wire_delay(r_wire, c_wire, c_sense);
+
+    // 3. Priority select among the entries (latest-match-wins) and the
+    //    spare word-line redrive.
+    let depth = (spares as f64).log2().ceil().max(1.0) as usize;
+    let mut select = Path::new(tau);
+    for _ in 0..depth {
+        select = select.stage(GateType::Nor(2), 2.0);
+    }
+    select = select.stage(GateType::Inverter, 4.0);
+    let select_s = select.delay_s();
+
+    TlbTiming {
+        compare_s,
+        match_line_s,
+        select_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_lands_near_1_2_ns() {
+        // 0.7 µm process, 1024 regular rows (10 row-address bits), 4
+        // spares — the paper quotes "about 1.2 ns".
+        let p = Process::cda07();
+        let t = tlb_delay(&p, 10, 4).total_s();
+        assert!(
+            (0.4e-9..2.5e-9).contains(&t),
+            "TLB delay {t:.3e} s is far from the paper's ~1.2 ns"
+        );
+    }
+
+    #[test]
+    fn delay_grows_with_entries() {
+        let p = Process::cda07();
+        let t4 = tlb_delay(&p, 10, 4).total_s();
+        let t16 = tlb_delay(&p, 10, 16).total_s();
+        assert!(t16 > t4, "more entries load the compare path");
+    }
+
+    #[test]
+    fn delay_grows_with_address_width() {
+        let p = Process::cda07();
+        let narrow = tlb_delay(&p, 6, 4).match_line_s;
+        let wide = tlb_delay(&p, 12, 4).match_line_s;
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn finer_process_is_faster() {
+        let t07 = tlb_delay(&Process::cda07(), 10, 4).total_s();
+        let t05 = tlb_delay(&Process::cda05(), 10, 4).total_s();
+        assert!(t05 < t07);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let t = tlb_delay(&Process::mosis06(), 9, 8);
+        assert!((t.total_s() - (t.compare_s + t.match_line_s + t.select_s)).abs() < 1e-18);
+        assert!(t.compare_s > 0.0 && t.match_line_s > 0.0 && t.select_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TLB entry")]
+    fn zero_spares_rejected() {
+        tlb_delay(&Process::cda07(), 10, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Circuit-level models for the BISRAMGEN reproduction.
+//!
+//! The paper's tool has "built-in access to SPICE utilities": it sizes the
+//! N and P transistors of critical gates to balance rise and fall times,
+//! extracts and simulates leaf cells ahead of time, and extrapolates
+//! timing, area and power guarantees for the overall RAM. This crate is
+//! the stand-in for those utilities, built from scratch:
+//!
+//! * [`netlist`] — a transistor-level netlist database with subcircuit
+//!   support and SPICE-deck export,
+//! * [`le`] — a logical-effort delay model for the decoder and driver
+//!   chains (used by the datasheet generator and the TLB delay study),
+//! * [`elmore`] — Elmore delay over RC trees for bitlines and word lines,
+//! * [`tran`] — a small modified-nodal-analysis transient simulator with
+//!   level-1 MOS models, backward-Euler integration and Newton iteration;
+//!   this is what "simulates" the current-mode sense amplifier of Fig. 3,
+//! * [`sizing`] — the automatic P/N width balancing of paper §II.
+//!
+//! # Examples
+//!
+//! Balancing an inverter's pull-up against its pull-down:
+//!
+//! ```
+//! use bisram_circuit::sizing;
+//! use bisram_tech::Process;
+//!
+//! let p = Process::cda07();
+//! let wn = 1.4e-6;
+//! let wp = sizing::balanced_pmos_width(p.devices(), wn);
+//! // The PMOS ends up wider by roughly the mobility ratio.
+//! assert!(wp > 2.0 * wn && wp < 4.0 * wn);
+//! ```
+
+pub mod campath;
+pub mod elmore;
+pub mod le;
+pub mod netlist;
+pub mod sizing;
+pub mod snm;
+pub mod tran;
+
+pub use netlist::{DeviceKind, MosType, Netlist, NodeId};
+pub use tran::{TranResult, TransientSim};

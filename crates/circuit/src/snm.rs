@@ -1,0 +1,265 @@
+//! Static noise margin analysis of the 6T SRAM cell.
+//!
+//! A memory compiler must guarantee that the cell it tiles by the
+//! million actually holds data: the hold and read static noise margins
+//! (SNM) of the cross-coupled inverter pair, extracted from the
+//! butterfly curves. Read SNM additionally loads the "low" storage node
+//! through the access transistor from the precharged bitline — the
+//! classic read-disturb mechanism that fixes the cell ratio (pulldown
+//! strength over access strength).
+//!
+//! The voltage transfer curves come from the same level-1 device
+//! equations as the transient simulator; the SNM is the side of the
+//! largest square that fits inside a butterfly lobe, computed with the
+//! standard 45°-rotation method.
+
+use bisram_tech::DeviceParams;
+
+/// Geometry of the 6T cell's transistors (widths in metres; all devices
+/// share the process gate length).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGeometry {
+    /// Pull-down NMOS width.
+    pub w_pulldown: f64,
+    /// Pull-up PMOS width.
+    pub w_pullup: f64,
+    /// Access NMOS width.
+    pub w_access: f64,
+    /// Gate length.
+    pub l: f64,
+}
+
+impl CellGeometry {
+    /// A standard cell for a process of gate length `l`: cell ratio 2
+    /// (pulldown twice the access strength), minimum-strength pull-up.
+    pub fn standard(l: f64) -> Self {
+        CellGeometry {
+            w_pulldown: 3.0 * l,
+            w_pullup: 1.5 * l,
+            w_access: 1.5 * l,
+            l,
+        }
+    }
+
+    /// The cell ratio (beta ratio): pulldown strength over access
+    /// strength. Read stability demands a ratio comfortably above 1.
+    pub fn cell_ratio(&self) -> f64 {
+        self.w_pulldown / self.w_access
+    }
+}
+
+/// Level-1 NMOS drain current (duplicated from the transient simulator's
+/// internal model; kept here in its simplest form for DC work).
+fn nmos_id(vgs: f64, vds: f64, beta: f64, vt: f64) -> f64 {
+    if vds < 0.0 {
+        return -nmos_id(vgs - vds, -vds, beta, vt);
+    }
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        return 0.0;
+    }
+    if vds >= vov {
+        0.5 * beta * vov * vov
+    } else {
+        beta * (vov * vds - 0.5 * vds * vds)
+    }
+}
+
+/// DC transfer curve of one cell inverter: storage node voltage as a
+/// function of the opposite node's voltage. With `read_access` the
+/// output node is also pulled toward `vdd` through the access device
+/// (bitline precharged high), which degrades the low level.
+fn inverter_vtc(dev: &DeviceParams, geom: &CellGeometry, vin: f64, read_access: bool) -> f64 {
+    let beta_n = dev.kp_n * geom.w_pulldown / geom.l;
+    let beta_p = dev.kp_p * geom.w_pullup / geom.l;
+    let beta_a = dev.kp_n * geom.w_access / geom.l;
+    let vdd = dev.vdd;
+    // Solve i_pullup(vout) + i_access(vout) - i_pulldown(vout) = 0 by
+    // bisection; the net current is monotone in vout.
+    let net = |vout: f64| {
+        let i_dn = nmos_id(vin, vout, beta_n, dev.vtn);
+        // PMOS pull-up: source at vdd, gate at vin.
+        let i_up = nmos_id(vdd - vin, vdd - vout, beta_p, dev.vtp);
+        // Access device from the precharged bitline (gate at vdd).
+        let i_acc = if read_access {
+            nmos_id(vdd - vout, vdd - vout, beta_a, dev.vtn)
+        } else {
+            0.0
+        };
+        i_up + i_acc - i_dn
+    };
+    let (mut lo, mut hi) = (0.0, vdd);
+    // net(0) >= 0 (nothing pulls below ground), net(vdd) <= 0 when the
+    // pulldown is on; handle the cutoff case where the output rails.
+    if net(vdd) > 0.0 {
+        return vdd;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if net(mid) >= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Test/debug access to the raw VTC (hidden from docs).
+#[doc(hidden)]
+pub fn debug_vtc(dev: &DeviceParams, geom: &CellGeometry, vin: f64, read_access: bool) -> f64 {
+    inverter_vtc(dev, geom, vin, read_access)
+}
+
+/// A butterfly analysis result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseMargins {
+    /// Hold (standby) static noise margin, volts.
+    pub hold_snm: f64,
+    /// Read static noise margin, volts.
+    pub read_snm: f64,
+}
+
+/// Extracts hold and read SNM for a cell geometry.
+pub fn analyze(dev: &DeviceParams, geom: &CellGeometry) -> NoiseMargins {
+    NoiseMargins {
+        hold_snm: lobe_snm(dev, geom, false),
+        read_snm: lobe_snm(dev, geom, true),
+    }
+}
+
+/// SNM of the butterfly formed by the VTC and its mirror: the largest
+/// square inscribed in the upper-left lobe.
+///
+/// In the `(V1, V2)` plane the lobe's interior satisfies `V2 < f(V1)`
+/// (below curve A) and `V1 > f(V2)` (right of curve B). With `f`
+/// non-increasing, a square `[x0, x0+s] × [y0, y0+s]` fits exactly when
+/// its lower-left corner touches curve B (`x0 = f(y0)`) and its
+/// upper-right corner touches curve A (`y0 + s = f(x0 + s)`). The
+/// residual `h(s) = f(x0 + s) − (y0 + s)` is positive at `s = 0` inside
+/// the lobe (`f(f(y0)) > y0`) and strictly decreasing, so the
+/// per-anchor side comes from a bisection; the SNM maximizes over the
+/// `y0` anchors.
+fn lobe_snm(dev: &DeviceParams, geom: &CellGeometry, read_access: bool) -> f64 {
+    let vdd = dev.vdd;
+    let f = |v: f64| inverter_vtc(dev, geom, v, read_access);
+    let n = 160;
+    let mut snm: f64 = 0.0;
+    for i in 0..=n {
+        let y0 = vdd * i as f64 / n as f64;
+        let x0 = f(y0);
+        let h = |s: f64| {
+            if x0 + s > vdd || y0 + s > vdd {
+                // The square would leave the supply window.
+                return -1.0;
+            }
+            f(x0 + s) - (y0 + s)
+        };
+        if h(0.0) <= 0.0 {
+            continue; // outside the bistable lobe
+        }
+        let (mut lo, mut hi) = (0.0, vdd);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if h(mid) >= 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        snm = snm.max(lo);
+    }
+    snm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_tech::Process;
+
+    fn dev() -> DeviceParams {
+        Process::cda07().devices().clone()
+    }
+
+    #[test]
+    fn vtc_is_a_proper_inverter() {
+        let d = dev();
+        let g = CellGeometry::standard(0.7e-6);
+        let low_in = inverter_vtc(&d, &g, 0.0, false);
+        let high_in = inverter_vtc(&d, &g, d.vdd, false);
+        assert!(low_in > 0.95 * d.vdd, "output high: {low_in}");
+        assert!(high_in < 0.05 * d.vdd, "output low: {high_in}");
+        // Monotone non-increasing.
+        let mut prev = f64::MAX;
+        for i in 0..=20 {
+            let v = inverter_vtc(&d, &g, d.vdd * i as f64 / 20.0, false);
+            assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn read_degrades_the_low_level() {
+        let d = dev();
+        let g = CellGeometry::standard(0.7e-6);
+        let hold_low = inverter_vtc(&d, &g, d.vdd, false);
+        let read_low = inverter_vtc(&d, &g, d.vdd, true);
+        assert!(
+            read_low > hold_low + 0.05,
+            "the access device must lift the low node: {read_low} vs {hold_low}"
+        );
+    }
+
+    #[test]
+    fn margins_are_plausible_for_a_5v_process() {
+        let d = dev();
+        let g = CellGeometry::standard(0.7e-6);
+        let m = analyze(&d, &g);
+        assert!(
+            (0.3..2.5).contains(&m.hold_snm),
+            "hold SNM {:.3} V implausible",
+            m.hold_snm
+        );
+        assert!(m.read_snm > 0.1, "cell must be read-stable: {:.3}", m.read_snm);
+        assert!(
+            m.read_snm < m.hold_snm,
+            "read SNM must be the smaller margin"
+        );
+    }
+
+    #[test]
+    fn stronger_pulldown_improves_read_stability() {
+        let d = dev();
+        let weak = CellGeometry {
+            w_pulldown: 1.6e-6,
+            ..CellGeometry::standard(0.7e-6)
+        };
+        let strong = CellGeometry {
+            w_pulldown: 4.2e-6,
+            ..CellGeometry::standard(0.7e-6)
+        };
+        let m_weak = analyze(&d, &weak);
+        let m_strong = analyze(&d, &strong);
+        assert!(
+            m_strong.read_snm > m_weak.read_snm,
+            "cell ratio must buy read margin: {:.3} vs {:.3}",
+            m_strong.read_snm,
+            m_weak.read_snm
+        );
+        assert!(strong.cell_ratio() > weak.cell_ratio());
+    }
+
+    #[test]
+    fn every_builtin_process_yields_a_stable_standard_cell() {
+        for p in Process::builtin() {
+            let g = CellGeometry::standard(p.gate_length_m());
+            let m = analyze(p.devices(), &g);
+            assert!(
+                m.read_snm > 0.05,
+                "{}: read SNM {:.3} V — cell not usable",
+                p.name(),
+                m.read_snm
+            );
+        }
+    }
+}

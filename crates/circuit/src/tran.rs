@@ -1,0 +1,588 @@
+//! A small modified-nodal-analysis transient simulator.
+//!
+//! Backward-Euler integration with Newton–Raphson iteration and level-1
+//! MOS models — enough to reproduce the paper's circuit experiments: the
+//! current-mode sense amplifier of Fig. 3 and the simulation-in-the-loop
+//! transistor sizing of §II. Circuits are small (tens of nodes), so a
+//! dense LU solve per Newton step is more robust than anything sparse.
+
+use crate::netlist::{DeviceKind, MosType, Netlist, NodeId};
+use bisram_tech::DeviceParams;
+
+/// Minimum conductance from every node to ground, for convergence.
+const GMIN: f64 = 1e-12;
+/// Newton convergence tolerance on node voltages (V).
+const VNTOL: f64 = 1e-6;
+/// Maximum Newton iterations per timepoint.
+const MAX_NEWTON: usize = 200;
+/// Per-iteration voltage step limit (V), a simple damping scheme.
+const VSTEP_LIMIT: f64 = 0.6;
+
+/// Errors from the transient simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA matrix became singular (typically a floating node).
+    SingularMatrix {
+        /// Simulation time at which the solve failed.
+        time: f64,
+    },
+    /// Newton iteration failed to converge at a timepoint.
+    NoConvergence {
+        /// Simulation time of the failed timepoint.
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::SingularMatrix { time } => {
+                write!(f, "singular MNA matrix at t = {time:.3e} s (floating node?)")
+            }
+            SimError::NoConvergence { time } => {
+                write!(f, "newton iteration did not converge at t = {time:.3e} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A prepared transient simulation of one netlist.
+#[derive(Debug, Clone)]
+pub struct TransientSim<'a> {
+    netlist: &'a Netlist,
+    dev: &'a DeviceParams,
+    /// Number of node-voltage unknowns (nodes minus ground).
+    n_nodes: usize,
+    /// Number of voltage-source current unknowns.
+    n_vsrc: usize,
+}
+
+/// The waveforms produced by a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `volts[sample][node_index]`, ground included at index 0.
+    volts: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// The sampled timepoints.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage of `node` at sample `i`.
+    pub fn voltage(&self, node: NodeId, i: usize) -> f64 {
+        self.volts[i][node.index()]
+    }
+
+    /// Voltage of `node` at the final timepoint.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        self.volts
+            .last()
+            .map(|v| v[node.index()])
+            .unwrap_or(0.0)
+    }
+
+    /// Linearly interpolated voltage of `node` at time `t`.
+    pub fn voltage_at(&self, node: NodeId, t: f64) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        if t <= self.times[0] {
+            return self.voltage(node, 0);
+        }
+        for i in 1..self.times.len() {
+            if t <= self.times[i] {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let (v0, v1) = (self.voltage(node, i - 1), self.voltage(node, i));
+                if t1 == t0 {
+                    return v1;
+                }
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+            }
+        }
+        self.final_voltage(node)
+    }
+
+    /// First time after `after` at which `node` crosses `level` in the
+    /// given direction (`rising = true` for an upward crossing), found by
+    /// linear interpolation between samples. `None` when no crossing
+    /// occurs.
+    pub fn crossing_time(&self, node: NodeId, level: f64, rising: bool, after: f64) -> Option<f64> {
+        for i in 1..self.times.len() {
+            if self.times[i] <= after {
+                continue;
+            }
+            let v0 = self.voltage(node, i - 1);
+            let v1 = self.voltage(node, i);
+            let crossed = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crossed {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let frac = if (v1 - v0).abs() < 1e-30 {
+                    1.0
+                } else {
+                    (level - v0) / (v1 - v0)
+                };
+                let t = t0 + frac * (t1 - t0);
+                if t > after {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<'a> TransientSim<'a> {
+    /// Prepares a simulation.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves room for
+    /// topology validation errors.
+    pub fn new(netlist: &'a Netlist, dev: &'a DeviceParams) -> Result<Self, SimError> {
+        let n_vsrc = netlist
+            .devices()
+            .iter()
+            .filter(|d| matches!(d, DeviceKind::Vsource { .. }))
+            .count();
+        Ok(TransientSim {
+            netlist,
+            dev,
+            n_nodes: netlist.node_count() - 1,
+            n_vsrc,
+        })
+    }
+
+    /// Runs the transient analysis from 0 to `t_stop` with fixed step
+    /// `dt`, starting from all node voltages at zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SingularMatrix`] on floating-node topologies.
+    /// * [`SimError::NoConvergence`] if Newton fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` or `dt` is not positive.
+    pub fn run(&self, t_stop: f64, dt: f64) -> Result<TranResult, SimError> {
+        assert!(t_stop > 0.0 && dt > 0.0, "time parameters must be positive");
+        let n = self.n_nodes + self.n_vsrc;
+        // Node voltages from the previous accepted timepoint (index 0 is
+        // ground and stays 0).
+        let mut v_prev = vec![0.0; self.n_nodes + 1];
+        let mut times = Vec::new();
+        let mut volts = Vec::new();
+
+        // Solve the t = 0 point first (caps behave as open history from
+        // zero), then march.
+        let steps = (t_stop / dt).ceil() as usize;
+        for step in 0..=steps {
+            let t = (step as f64 * dt).min(t_stop);
+            let mut x: Vec<f64> = v_prev.clone();
+            let mut iv = vec![0.0; self.n_vsrc];
+            let mut converged = false;
+            for _ in 0..MAX_NEWTON {
+                let (a, mut rhs) = self.assemble(t, dt, &x, &v_prev);
+                let sol = solve_dense(a, &mut rhs).ok_or(SimError::SingularMatrix { time: t })?;
+                let mut max_dv: f64 = 0.0;
+                for k in 0..self.n_nodes {
+                    let newv = sol[k];
+                    let dv = (newv - x[k + 1]).clamp(-VSTEP_LIMIT, VSTEP_LIMIT);
+                    max_dv = max_dv.max((newv - x[k + 1]).abs());
+                    x[k + 1] += dv;
+                }
+                iv.copy_from_slice(&sol[self.n_nodes..n]);
+                if max_dv < VNTOL {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(SimError::NoConvergence { time: t });
+            }
+            times.push(t);
+            volts.push(x.clone());
+            v_prev = x;
+        }
+        Ok(TranResult { times, volts })
+    }
+
+    /// Assembles the linearized MNA system `A·x = rhs` around the current
+    /// Newton iterate `x` (node voltages, ground included at index 0)
+    /// with backward-Euler companions from `v_prev`.
+    fn assemble(
+        &self,
+        t: f64,
+        dt: f64,
+        x: &[f64],
+        v_prev: &[f64],
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let n = self.n_nodes + self.n_vsrc;
+        let mut a = vec![vec![0.0; n]; n];
+        let mut rhs = vec![0.0; n];
+        // Row/col index of a node in the reduced system (ground → None).
+        let idx = |node: NodeId| -> Option<usize> {
+            if node == NodeId::GROUND {
+                None
+            } else {
+                Some(node.index() - 1)
+            }
+        };
+        let stamp_g = |a: &mut Vec<Vec<f64>>, p: Option<usize>, q: Option<usize>, g: f64| {
+            if let Some(i) = p {
+                a[i][i] += g;
+                if let Some(j) = q {
+                    a[i][j] -= g;
+                }
+            }
+            if let Some(j) = q {
+                a[j][j] += g;
+                if let Some(i) = p {
+                    a[j][i] -= g;
+                }
+            }
+        };
+
+        // GMIN from every node to ground.
+        for k in 0..self.n_nodes {
+            a[k][k] += GMIN;
+        }
+
+        let mut vsrc_row = self.n_nodes;
+        for dev in self.netlist.devices() {
+            match dev {
+                DeviceKind::Resistor { a: p, b: q, ohms } => {
+                    stamp_g(&mut a, idx(*p), idx(*q), 1.0 / ohms);
+                }
+                DeviceKind::Capacitor { a: p, b: q, farads } => {
+                    // Backward Euler companion: g = C/dt, I_eq = g·v_prev.
+                    let g = farads / dt;
+                    stamp_g(&mut a, idx(*p), idx(*q), g);
+                    let vprev = v_prev[p.index()] - v_prev[q.index()];
+                    if let Some(i) = idx(*p) {
+                        rhs[i] += g * vprev;
+                    }
+                    if let Some(j) = idx(*q) {
+                        rhs[j] -= g * vprev;
+                    }
+                }
+                DeviceKind::Isource { a: p, b: q, waveform } => {
+                    let i = Netlist::pwl_at(waveform, t);
+                    if let Some(ip) = idx(*p) {
+                        rhs[ip] -= i;
+                    }
+                    if let Some(iq) = idx(*q) {
+                        rhs[iq] += i;
+                    }
+                }
+                DeviceKind::Vsource { a: p, b: q, waveform } => {
+                    let v = Netlist::pwl_at(waveform, t);
+                    let row = vsrc_row;
+                    vsrc_row += 1;
+                    if let Some(i) = idx(*p) {
+                        a[i][row] += 1.0;
+                        a[row][i] += 1.0;
+                    }
+                    if let Some(j) = idx(*q) {
+                        a[j][row] -= 1.0;
+                        a[row][j] -= 1.0;
+                    }
+                    rhs[row] = v;
+                }
+                DeviceKind::Mos {
+                    mos_type,
+                    d,
+                    g,
+                    s,
+                    w,
+                    l,
+                } => {
+                    let vd = x[d.index()];
+                    let vg = x[g.index()];
+                    let vs = x[s.index()];
+                    let (i0, gd, gg, gs) = self.mos_linearized(*mos_type, vd, vg, vs, *w, *l);
+                    // i flows from drain node into source node:
+                    // i ≈ i0 + gd·Δvd + gg·Δvg + gs·Δvs, already expanded
+                    // around the iterate, so the rhs carries the residue.
+                    let res = i0 - gd * vd - gg * vg - gs * vs;
+                    if let Some(di) = idx(*d) {
+                        a[di][di] += gd;
+                        if let Some(gi) = idx(*g) {
+                            a[di][gi] += gg;
+                        }
+                        if let Some(si) = idx(*s) {
+                            a[di][si] += gs;
+                        }
+                        rhs[di] -= res;
+                    }
+                    if let Some(si) = idx(*s) {
+                        a[si][si] -= gs;
+                        if let Some(di) = idx(*d) {
+                            a[si][di] -= gd;
+                        }
+                        if let Some(gi) = idx(*g) {
+                            a[si][gi] -= gg;
+                        }
+                        rhs[si] += res;
+                    }
+                }
+            }
+        }
+        (a, rhs)
+    }
+
+    /// Drain current of a MOS at the given terminal voltages, plus the
+    /// partial derivatives w.r.t. (vd, vg, vs), computed by central
+    /// differences around the analytic level-1 current.
+    fn mos_linearized(
+        &self,
+        mos_type: MosType,
+        vd: f64,
+        vg: f64,
+        vs: f64,
+        w: f64,
+        l: f64,
+    ) -> (f64, f64, f64, f64) {
+        let f = |vd: f64, vg: f64, vs: f64| self.mos_id(mos_type, vd, vg, vs, w, l);
+        let h = 1e-5;
+        let i0 = f(vd, vg, vs);
+        let gd = (f(vd + h, vg, vs) - f(vd - h, vg, vs)) / (2.0 * h);
+        let gg = (f(vd, vg + h, vs) - f(vd, vg - h, vs)) / (2.0 * h);
+        let gs = (f(vd, vg, vs + h) - f(vd, vg, vs - h)) / (2.0 * h);
+        (i0, gd, gg, gs)
+    }
+
+    /// Level-1 drain current (A) flowing from drain to source.
+    fn mos_id(&self, mos_type: MosType, vd: f64, vg: f64, vs: f64, w: f64, l: f64) -> f64 {
+        let d = self.dev;
+        match mos_type {
+            MosType::Nmos => nmos_id(vd, vg, vs, d.kp_n * w / l, d.vtn, d.channel_lambda),
+            // PMOS is an NMOS with all node voltages negated.
+            MosType::Pmos => -nmos_id(-vd, -vg, -vs, d.kp_p * w / l, d.vtp, d.channel_lambda),
+        }
+    }
+}
+
+/// Symmetric level-1 NMOS current from drain to source, handling the
+/// source/drain swap for vds < 0.
+fn nmos_id(vd: f64, vg: f64, vs: f64, beta: f64, vt: f64, lambda: f64) -> f64 {
+    if vd < vs {
+        return -nmos_id(vs, vg, vd, beta, vt, lambda);
+    }
+    let vgs = vg - vs;
+    let vds = vd - vs;
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        return 0.0;
+    }
+    let clm = 1.0 + lambda * vds;
+    if vds >= vov {
+        0.5 * beta * vov * vov * clm
+    } else {
+        beta * (vov * vds - 0.5 * vds * vds) * clm
+    }
+}
+
+/// Dense Gaussian elimination with partial pivoting. Returns `None` on a
+/// (numerically) singular matrix.
+fn solve_dense(mut a: Vec<Vec<f64>>, rhs: &mut [f64]) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-20 {
+            return None;
+        }
+        if pivot != col {
+            a.swap(pivot, col);
+            rhs.swap(pivot, col);
+        }
+        let diag = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_tech::Process;
+
+    fn dev() -> DeviceParams {
+        Process::cda07().devices().clone()
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // 1kΩ from a 1V source into 1nF: v(t) = 1 - e^{-t/RC}, RC = 1 µs.
+        let mut nl = Netlist::new("rc");
+        let src = nl.node("src");
+        let out = nl.node("out");
+        nl.vdc(src, Netlist::ground(), 1.0);
+        nl.resistor(src, out, 1000.0);
+        nl.capacitor(out, Netlist::ground(), 1e-9);
+        let d = dev();
+        let sim = TransientSim::new(&nl, &d).unwrap();
+        let r = sim.run(10e-6, 1e-8).unwrap();
+        let v_tau = r.voltage_at(out, 1e-6);
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((v_tau - expect).abs() < 0.02, "v(tau) = {v_tau}, expect {expect}");
+        // After 10 time constants the capacitor is within 1e-4 of the rail.
+        assert!((r.final_voltage(out) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn divider_settles_to_half() {
+        let mut nl = Netlist::new("div");
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.vdc(a, Netlist::ground(), 2.0);
+        nl.resistor(a, m, 1000.0);
+        nl.resistor(m, Netlist::ground(), 1000.0);
+        let d = dev();
+        let r = TransientSim::new(&nl, &d).unwrap().run(1e-9, 1e-10).unwrap();
+        assert!((r.final_voltage(m) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverter_switches_rail_to_rail() {
+        let d = dev();
+        let mut nl = Netlist::new("inv");
+        let vdd = nl.node("vdd");
+        let a = nl.node("a");
+        let y = nl.node("y");
+        nl.vdc(vdd, Netlist::ground(), d.vdd);
+        nl.vpwl(
+            a,
+            Netlist::ground(),
+            vec![(0.0, 0.0), (2e-9, 0.0), (2.1e-9, d.vdd)],
+        );
+        nl.mos(MosType::Pmos, y, a, vdd, 3e-6, 0.7e-6);
+        nl.mos(MosType::Nmos, y, a, Netlist::ground(), 1e-6, 0.7e-6);
+        nl.capacitor(y, Netlist::ground(), 20e-15);
+        let r = TransientSim::new(&nl, &d).unwrap().run(5e-9, 5e-12).unwrap();
+        // Before the edge the output is high; after, low.
+        assert!(r.voltage_at(y, 1.9e-9) > 0.95 * d.vdd);
+        assert!(r.final_voltage(y) < 0.05 * d.vdd);
+        // There is a falling crossing after the input edge.
+        let t = r.crossing_time(y, d.vdd / 2.0, false, 2e-9);
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn current_source_integrates_on_capacitor() {
+        // 1 mA into 1 pF for 1 ns → 1 V ramp.
+        let mut nl = Netlist::new("ramp");
+        let out = nl.node("out");
+        nl.ipwl(Netlist::ground(), out, vec![(0.0, 1e-3)]);
+        nl.capacitor(out, Netlist::ground(), 1e-12);
+        let d = dev();
+        let r = TransientSim::new(&nl, &d).unwrap().run(1e-9, 1e-12).unwrap();
+        assert!((r.final_voltage(out) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn crossing_detection_and_interpolation() {
+        let res = TranResult {
+            times: vec![0.0, 1.0, 2.0, 3.0],
+            volts: vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.0, 2.0],
+                vec![0.0, 0.0],
+            ],
+        };
+        let n = NodeId(1);
+        assert_eq!(res.crossing_time(n, 0.5, true, 0.0), Some(0.5));
+        assert_eq!(res.crossing_time(n, 1.5, true, 0.0), Some(1.5));
+        assert_eq!(res.crossing_time(n, 1.0, false, 2.0), Some(2.5));
+        assert_eq!(res.crossing_time(n, 5.0, true, 0.0), None);
+        assert_eq!(res.voltage_at(n, 0.25), 0.25);
+        assert_eq!(res.voltage_at(n, 99.0), 0.0);
+    }
+
+    #[test]
+    fn floating_node_reports_singular_or_settles_via_gmin() {
+        // A node connected only through a capacitor is handled by GMIN —
+        // must not error out.
+        let mut nl = Netlist::new("float");
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vdc(a, Netlist::ground(), 1.0);
+        nl.capacitor(a, b, 1e-12);
+        let d = dev();
+        let r = TransientSim::new(&nl, &d).unwrap().run(1e-9, 1e-11);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn nmos_current_regions() {
+        let beta = 1e-3;
+        // Cutoff.
+        assert_eq!(nmos_id(1.0, 0.3, 0.0, beta, 0.7, 0.0), 0.0);
+        // Saturation: vgs=2, vt=0.7, vds=3 > vov → 0.5·β·vov².
+        let sat = nmos_id(3.0, 2.0, 0.0, beta, 0.7, 0.0);
+        assert!((sat - 0.5 * beta * 1.3f64.powi(2)).abs() < 1e-12);
+        // Triode below saturation current.
+        let tri = nmos_id(0.2, 2.0, 0.0, beta, 0.7, 0.0);
+        assert!(tri > 0.0 && tri < sat);
+        // Symmetry on swap.
+        let fwd = nmos_id(1.0, 2.0, 0.0, beta, 0.7, 0.0);
+        let rev = nmos_id(0.0, 2.0, 1.0, beta, 0.7, 0.0);
+        assert!((fwd + rev).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solver_handles_permuted_systems() {
+        // x + 2y = 5; 3x + 4y = 11 → x = 1, y = 2 — but with a zero
+        // leading pivot to force the row swap.
+        let a = vec![vec![0.0, 2.0], vec![3.0, 4.0]];
+        let mut rhs = vec![4.0, 11.0];
+        let x = solve_dense(a, &mut rhs).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        // Singular matrix returns None.
+        let a = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let mut rhs = vec![1.0, 2.0];
+        assert!(solve_dense(a, &mut rhs).is_none());
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::NoConvergence { time: 1e-9 };
+        assert!(e.to_string().contains("1.000e-9"));
+        let e = SimError::SingularMatrix { time: 0.0 };
+        assert!(e.to_string().contains("singular"));
+    }
+}

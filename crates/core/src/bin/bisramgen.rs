@@ -1,0 +1,176 @@
+//! The `bisramgen` command-line tool: compile a BISR RAM and write its
+//! outputs, the way the original tool was invoked from the CAD flow.
+//!
+//! ```sh
+//! bisramgen --words 4096 --bpw 32 --bpc 8 --spares 4 \
+//!           --process CDA.7u3m1p --gate-size 2 --strap 32:12 \
+//!           --out build/myram
+//! ```
+//!
+//! Outputs written to the `--out` directory: `datasheet.txt`,
+//! `areas.txt`, `floorplan.svg`, `trpla_and.plane`, `trpla_or.plane`,
+//! `sense_path.sp`, and (with `--cif`, small modules only) `layout.cif`.
+
+use bisram_tech::Process;
+use bisramgen::{compile, RamParams};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    words: usize,
+    bpw: usize,
+    bpc: usize,
+    spares: usize,
+    process: String,
+    gate_size: i64,
+    strap_every: usize,
+    strap_lambda: i64,
+    out: PathBuf,
+    cif: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            words: 1024,
+            bpw: 32,
+            bpc: 4,
+            spares: 4,
+            process: "CDA.7u3m1p".to_owned(),
+            gate_size: 2,
+            strap_every: 32,
+            strap_lambda: 12,
+            out: PathBuf::from("bisramgen_out"),
+            cif: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+bisramgen - compile a built-in self-repairable static RAM
+
+USAGE:
+  bisramgen [OPTIONS]
+
+OPTIONS:
+  --words N        addressable words (default 1024)
+  --bpw N          bits per word (default 32)
+  --bpc N          bits per column, power of two (default 4)
+  --spares N       spare rows; 4/8/16 keep the delay-masking guarantee (default 4)
+  --process NAME   CDA.5u3m1p | mos.6u3m1pHP | CDA.7u3m1p (default CDA.7u3m1p)
+  --gate-size N    critical-gate size factor >= 1 (default 2)
+  --strap E:L      strap gap of L lambda every E columns; 0:0 disables (default 32:12)
+  --out DIR        output directory (default bisramgen_out)
+  --cif            also write the flattened CIF (small modules only)
+  --help           show this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--words" => args.words = parse_num(&value("--words")?)?,
+            "--bpw" => args.bpw = parse_num(&value("--bpw")?)?,
+            "--bpc" => args.bpc = parse_num(&value("--bpc")?)?,
+            "--spares" => args.spares = parse_num(&value("--spares")?)?,
+            "--process" => args.process = value("--process")?,
+            "--gate-size" => args.gate_size = parse_num(&value("--gate-size")?)? as i64,
+            "--strap" => {
+                let v = value("--strap")?;
+                let (e, l) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--strap expects E:L, got {v:?}"))?;
+                args.strap_every = parse_num(e)?;
+                args.strap_lambda = parse_num(l)? as i64;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--cif" => args.cif = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("expected a number, got {s:?}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let process = Process::by_name(&args.process)
+        .ok_or_else(|| format!("unknown process {:?}; built-ins: CDA.5u3m1p, mos.6u3m1pHP, CDA.7u3m1p", args.process))?;
+    let params = RamParams::builder()
+        .words(args.words)
+        .bits_per_word(args.bpw)
+        .bits_per_column(args.bpc)
+        .spare_rows(args.spares)
+        .gate_size(args.gate_size)
+        .strap(args.strap_every, args.strap_lambda)
+        .process(process)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    eprintln!("compiling {params} ...");
+    let ram = compile(&params).map_err(|e| e.to_string())?;
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("creating {:?}: {e}", args.out))?;
+    let write = |name: &str, contents: &str| -> Result<(), String> {
+        let path = args.out.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("  wrote {}", path.display());
+        Ok(())
+    };
+
+    write("datasheet.txt", &ram.datasheet().to_string())?;
+    write(
+        "areas.txt",
+        &format!(
+            "{}\nBIST+BISR overhead: {:.3}% ({:.3}% counting spare rows)\nmodule: {:.4} mm2, utilization {:.1}%\n",
+            ram.areas().report(),
+            ram.areas().overhead_fraction() * 100.0,
+            ram.areas().overhead_fraction_with_spares() * 100.0,
+            ram.area_mm2(),
+            ram.placement().utilization() * 100.0
+        ),
+    )?;
+    write("floorplan.svg", &ram.floorplan_svg())?;
+    let (and_plane, or_plane) = ram.pla_planes();
+    write("trpla_and.plane", &and_plane)?;
+    write("trpla_or.plane", &or_plane)?;
+    write("sense_path.sp", &ram.sense_path_spice())?;
+    if args.cif {
+        if params.org().cells() > 200_000 {
+            eprintln!("  skipping CIF: module too large for a flattened export");
+        } else {
+            write("layout.cif", &ram.to_cif())?;
+        }
+    }
+
+    eprintln!(
+        "done: {} states / {} FFs, {:.2}% overhead, {:.2} ns access",
+        ram.control_program().state_count(),
+        ram.control_program().flip_flops(),
+        ram.areas().overhead_fraction() * 100.0,
+        ram.datasheet().access_time_s * 1e9
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bisramgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

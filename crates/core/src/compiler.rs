@@ -1,0 +1,649 @@
+//! The compile pipeline: leaf cells → macrocells → floorplan → outputs.
+
+use crate::datasheet::Datasheet;
+use crate::params::{ParamError, RamParams};
+use bisram_bist::march;
+use bisram_bist::trpla::{self, ControlProgram, Pla, Tri};
+use bisram_geom::{Point, Port, PortDirection, Rect, Side, Transform};
+use bisram_layout::area::AreaReport;
+use bisram_layout::placer::{place_with_margin, Macro, Placement};
+use bisram_layout::route::{self, Route};
+use bisram_layout::{export, leaf, tile, Cell};
+use bisram_mem::SramModel;
+use bisram_tech::Layer;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Errors from the compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Parameter validation failed (when compiling from raw inputs).
+    Params(ParamError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Params(e) => write!(f, "invalid parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParamError> for CompileError {
+    fn from(e: ParamError) -> Self {
+        CompileError::Params(e)
+    }
+}
+
+/// A fully compiled BISR RAM module.
+#[derive(Debug, Clone)]
+pub struct CompiledRam {
+    params: RamParams,
+    chip: Cell,
+    placement: Placement,
+    routes: Vec<Route>,
+    areas: Areas,
+    datasheet: Datasheet,
+    program: ControlProgram,
+    pla: Pla,
+}
+
+/// Area accounting of a compiled RAM.
+#[derive(Debug, Clone)]
+pub struct Areas {
+    report: AreaReport,
+}
+
+impl Areas {
+    /// The itemized report.
+    pub fn report(&self) -> &AreaReport {
+        &self.report
+    }
+
+    /// The Table I quantity: BIST + BISR circuitry area over everything
+    /// else (spare rows are *not* counted as overhead — paper §IX:
+    /// "redundancy is used in a vast majority of large RAMs even if
+    /// there is no self-repair").
+    pub fn overhead_fraction(&self) -> f64 {
+        self.report
+            .overhead(|n| n.starts_with("bist_") || n.starts_with("bisr_"))
+    }
+
+    /// The stricter variant counting the spare rows as overhead too.
+    pub fn overhead_fraction_with_spares(&self) -> f64 {
+        self.report.overhead(|n| {
+            n.starts_with("bist_") || n.starts_with("bisr_") || n == "array_spare_rows"
+        })
+    }
+
+    /// Controller (TRPLA) area as a fraction of the storage array area
+    /// (paper §VI: "less than 0.1% for a 16-kbyte RAM").
+    pub fn controller_fraction_of_array(&self) -> f64 {
+        let array = self.report.area_of("array_regular_rows")
+            + self.report.area_of("array_spare_rows");
+        if array == 0 {
+            0.0
+        } else {
+            self.report.area_of("bist_trpla") as f64 / array as f64
+        }
+    }
+}
+
+/// Compiles a validated parameter set into a full BISR RAM module.
+///
+/// # Errors
+///
+/// Currently infallible for validated [`RamParams`]; the `Result`
+/// reserves room for resource-limit errors.
+pub fn compile(params: &RamParams) -> Result<CompiledRam, CompileError> {
+    let process = params.process();
+    let org = *params.org();
+    let lambda = process.rules().lambda();
+
+    // --- Control program and PLA personality (read back through the
+    // two-file interchange, exactly as the original tool loads its
+    // control code at run time).
+    let program = trpla::assemble(&march::ifa9());
+    let pla = {
+        let synthesized = program.synthesize_pla();
+        let (and_s, or_s) = synthesized.export_planes();
+        Pla::import_planes(&and_s, &or_s).expect("self-generated planes always parse")
+    };
+
+    // --- Macrocells.
+    let sram = Arc::new(leaf::sram6t(process));
+    let array_row = Arc::new(tile::tile_with_straps(
+        "array_row",
+        Arc::clone(&sram),
+        1,
+        org.columns(),
+        params.strap_every(),
+        params.strap_lambda() * lambda,
+    ));
+    let mut array = tile::tile_column("ram_array", Arc::clone(&array_row), org.total_rows());
+    // Representative boundary ports so the placer's alignment heuristic
+    // has something to align (word line of row 0, bitline of column 0).
+    array.add_port(
+        Port::new(
+            "wl0",
+            Layer::Poly.id(),
+            Rect::new(0, 18 * lambda, 2 * lambda, 20 * lambda),
+            Side::West,
+        )
+        .with_direction(PortDirection::Input),
+    );
+    array.add_port(
+        Port::new(
+            "bl0",
+            Layer::Metal2.id(),
+            Rect::new(2 * lambda, 0, 5 * lambda, 4 * lambda),
+            Side::South,
+        )
+        .with_direction(PortDirection::Inout),
+    );
+
+    let rowdec_cell = Arc::new(leaf::row_decoder(process, org.row_bits().max(1)));
+    let mut rowdec = tile::tile_column("row_decoders", rowdec_cell, org.total_rows());
+    let rd_w = rowdec.bbox().width();
+    rowdec.add_port(
+        Port::new(
+            "wl0",
+            Layer::Poly.id(),
+            Rect::new(rd_w - 2 * lambda, 18 * lambda, rd_w, 20 * lambda),
+            Side::East,
+        )
+        .with_direction(PortDirection::Output),
+    );
+
+    let wldrv = tile::tile_column(
+        "wl_drivers",
+        Arc::new(leaf::wordline_driver(process, params.gate_size())),
+        org.total_rows(),
+    );
+    let mut prech = tile::tile_row(
+        "precharge",
+        Arc::new(leaf::precharge(process, params.gate_size())),
+        org.columns(),
+    );
+    prech.add_port(
+        Port::new(
+            "bl0",
+            Layer::Metal2.id(),
+            Rect::new(2 * lambda, 0, 5 * lambda, 4 * lambda),
+            Side::South,
+        )
+        .with_direction(PortDirection::Inout),
+    );
+    let colmux = tile::tile_row("column_mux", Arc::new(leaf::col_mux(process)), org.columns());
+    let samp = tile::tile_row("sense_amps", Arc::new(leaf::sense_amp(process)), org.bpw());
+    let wrdrv = tile::tile_row(
+        "write_drivers",
+        Arc::new(leaf::write_driver(process)),
+        org.bpw(),
+    );
+
+    // BIST: ADDGEN (up/down counter over the full word address),
+    // DATAGEN (Johnson stages + XOR comparators), TRPLA, STREG.
+    let addr_bits = (org.row_bits() + org.col_bits()).max(1) as usize;
+    let addgen = tile::tile_row(
+        "bist_addgen",
+        Arc::new(leaf::counter_bit(process)),
+        addr_bits,
+    );
+    let datagen = {
+        let stages = org.bpw() / 2 + 1;
+        let johnson = Arc::new(tile::tile_row(
+            "johnson",
+            Arc::new(leaf::dff(process)),
+            stages.max(1),
+        ));
+        let xors = Arc::new(tile::tile_row(
+            "comparators",
+            Arc::new(leaf::xor2(process)),
+            org.bpw(),
+        ));
+        let mut c = Cell::new("bist_datagen");
+        let jh = johnson.bbox().height();
+        c.add_instance("johnson", johnson, Transform::IDENTITY);
+        c.add_instance("xors", xors, Transform::translate(Point::new(0, jh)));
+        c
+    };
+    let trpla_cell = build_pla_layout(process, &pla);
+    let streg = tile::tile_row(
+        "bist_streg",
+        Arc::new(leaf::dff(process)),
+        program.flip_flops() as usize,
+    );
+
+    // BISR: the TLB — a CAM of `spares × row_bits` plus per-entry match
+    // pullups.
+    let tlb_cell = {
+        let cam_bit = Arc::new(leaf::cam_bit(process));
+        let cam_h = cam_bit.bbox().height();
+        let cam = Arc::new(tile::tile_grid(
+            "cam",
+            cam_bit,
+            org.spare_rows().max(1),
+            org.row_bits().max(1) as usize,
+        ));
+        let pullup = Arc::new(leaf::pla_pullup(process));
+        let mut c = Cell::new("bisr_tlb");
+        let cw = cam.bbox().width();
+        c.add_instance("cam", cam, Transform::IDENTITY);
+        // One match-line pull-up per entry, placed at the CAM row pitch
+        // with its term line aligned to the row's match line (the CAM
+        // bit's match line sits at 28 lambda, the pull-up's at 3 lambda).
+        for entry in 0..org.spare_rows().max(1) {
+            c.add_instance(
+                format!("pullup_{entry}"),
+                Arc::clone(&pullup),
+                Transform::translate(Point::new(cw, entry as i64 * cam_h + 25 * lambda)),
+            );
+        }
+        c
+    };
+
+    // --- Area accounting (before placement; areas are placement
+    // independent).
+    let mut report = AreaReport::new();
+    let array_area = array.area();
+    let per_row = array_area / org.total_rows() as i128;
+    report.add("array_regular_rows", per_row * org.rows() as i128);
+    report.add("array_spare_rows", per_row * org.spare_rows() as i128);
+    report.add("row_decoders", rowdec.area());
+    report.add("wl_drivers", wldrv.area());
+    report.add("precharge", prech.area());
+    report.add("column_mux", colmux.area());
+    report.add("sense_amps", samp.area());
+    report.add("write_drivers", wrdrv.area());
+    report.add("bist_addgen", addgen.area());
+    report.add("bist_datagen", datagen.area());
+    report.add("bist_trpla", trpla_cell.area());
+    report.add("bist_streg", streg.area());
+    report.add("bisr_tlb", tlb_cell.area());
+
+    // --- Macrocell placement (decreasing area + port alignment) and
+    // over-the-cell routing.
+    let macros = vec![
+        Macro::new("ram_array", Arc::new(array)),
+        Macro::new("row_decoders", Arc::new(rowdec)),
+        Macro::new("wl_drivers", Arc::new(wldrv)),
+        Macro::new("precharge", Arc::new(prech)),
+        Macro::new("column_mux", Arc::new(colmux)),
+        Macro::new("sense_amps", Arc::new(samp)),
+        Macro::new("write_drivers", Arc::new(wrdrv)),
+        Macro::new("bist_addgen", Arc::new(addgen)),
+        Macro::new("bist_datagen", Arc::new(datagen)),
+        Macro::new("bist_trpla", Arc::new(trpla_cell)),
+        Macro::new("bist_streg", Arc::new(streg)),
+        Macro::new("bisr_tlb", Arc::new(tlb_cell)),
+    ];
+    // Clearance between macros: the widest same-layer spacing rule (the
+    // n-well's 9 lambda) with slack, so no cross-macro DRC violations
+    // can arise.
+    let placement = place_with_margin(macros, 12 * lambda);
+    let routes = route::route_placement(&placement, process);
+    let mut chip = placement.clone().into_cell(&format!(
+        "bisram_{}x{}",
+        org.words(),
+        org.bpw()
+    ));
+    for r in &routes {
+        for (layer, rect) in &r.shapes {
+            chip.add_shape(*layer, *rect);
+        }
+    }
+
+    let datasheet = Datasheet::extrapolate(params);
+
+    Ok(CompiledRam {
+        params: params.clone(),
+        chip,
+        placement,
+        routes,
+        areas: Areas { report },
+        datasheet,
+        program,
+        pla,
+    })
+}
+
+/// Builds the TRPLA layout from the PLA personality: one crosspoint cell
+/// per (term, column), programmed where the personality demands, plus a
+/// pull-up per term line.
+fn build_pla_layout(process: &bisram_tech::Process, pla: &Pla) -> Cell {
+    let on = Arc::new(leaf::pla_crosspoint(process, true));
+    let off = Arc::new(leaf::pla_crosspoint(process, false));
+    let pullup = Arc::new(leaf::pla_pullup(process));
+    let pitch = on.bbox().width();
+    let vpitch = on.bbox().height();
+    let mut c = Cell::new("bist_trpla");
+    for (t, (term, outs)) in pla.and_plane.iter().zip(pla.or_plane.iter()).enumerate() {
+        let y = t as i64 * vpitch;
+        for (i, tri) in term.iter().enumerate() {
+            let master = if *tri == Tri::DontCare { &off } else { &on };
+            c.add_instance(
+                format!("and_{t}_{i}"),
+                Arc::clone(master),
+                Transform::translate(Point::new(i as i64 * pitch, y)),
+            );
+        }
+        let or_x0 = term.len() as i64 * pitch;
+        for (o, drive) in outs.iter().enumerate() {
+            let master = if *drive { &on } else { &off };
+            c.add_instance(
+                format!("or_{t}_{o}"),
+                Arc::clone(master),
+                Transform::translate(Point::new(or_x0 + o as i64 * pitch, y)),
+            );
+        }
+        c.add_instance(
+            format!("pu_{t}"),
+            Arc::clone(&pullup),
+            Transform::translate(Point::new(
+                or_x0 + outs.len() as i64 * pitch,
+                y,
+            )),
+        );
+    }
+    c
+}
+
+impl CompiledRam {
+    /// The parameters this module was compiled from.
+    pub fn params(&self) -> &RamParams {
+        &self.params
+    }
+
+    /// The assembled chip cell (macrocell instances + route shapes).
+    pub fn chip(&self) -> &Cell {
+        &self.chip
+    }
+
+    /// The macrocell placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The over-the-cell metal-3 routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Area accounting.
+    pub fn areas(&self) -> &Areas {
+        &self.areas
+    }
+
+    /// The extrapolated datasheet.
+    pub fn datasheet(&self) -> &Datasheet {
+        &self.datasheet
+    }
+
+    /// The TRPLA control program (two-pass IFA-9 test and repair).
+    pub fn control_program(&self) -> &ControlProgram {
+        &self.program
+    }
+
+    /// The PLA personality.
+    pub fn pla(&self) -> &Pla {
+        &self.pla
+    }
+
+    /// The control code in the paper's two-file format
+    /// `(and_plane, or_plane)`.
+    pub fn pla_planes(&self) -> (String, String) {
+        self.pla.export_planes()
+    }
+
+    /// A fresh behavioural model of this memory (fault-free; inject
+    /// faults and run the BIST/BISR flows from `bisram-bist` /
+    /// `bisram-repair` against it).
+    pub fn behavioural_model(&self) -> SramModel {
+        SramModel::new(*self.params.org())
+    }
+
+    /// Total module area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.placement.bbox().area() as f64 * 1e-12
+    }
+
+    /// An SVG floorplan plot — the stand-in for the paper's Fig. 6/7
+    /// layout photographs (macro outlines with labels; full-detail
+    /// geometry export is [`CompiledRam::to_cif`]).
+    pub fn floorplan_svg(&self) -> String {
+        let bbox = self.placement.bbox();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="{} {} {} {}">"#,
+            bbox.left(),
+            -bbox.top(),
+            bbox.width().max(1),
+            bbox.height().max(1)
+        );
+        let palette = [
+            "#b0c4de", "#ffd9a0", "#c1e1c1", "#f4b6c2", "#d7bde2", "#aed6f1", "#f9e79f",
+            "#a3e4d7", "#f5cba7", "#d5dbdb", "#fadbd8", "#d4efdf",
+        ];
+        for (i, m) in self.placement.placed().iter().enumerate() {
+            let b = m.bbox();
+            let _ = writeln!(
+                out,
+                r##"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" stroke="#333" stroke-width="{}"/>"##,
+                b.left(),
+                -b.top(),
+                b.width(),
+                b.height(),
+                palette[i % palette.len()],
+                bbox.width() / 400 + 1,
+            );
+            let c = b.center();
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-size="{}" text-anchor="middle">{}</text>"#,
+                c.x,
+                -c.y,
+                (b.height() / 8).clamp(bbox.width() / 120 + 1, bbox.width() / 30 + 2),
+                m.name
+            );
+        }
+        for r in &self.routes {
+            for (_, rect) in &r.shapes {
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{}" y="{}" width="{}" height="{}" fill="#20b2aa"/>"##,
+                    rect.left(),
+                    -rect.top(),
+                    rect.width().max(1),
+                    rect.height().max(1)
+                );
+            }
+        }
+        let _ = writeln!(out, "</svg>");
+        out
+    }
+
+    /// Full-detail CIF of the chip. **Flattens the entire hierarchy** —
+    /// intended for small modules and leaf-cell inspection; a 4 Mb array
+    /// produces a very large file.
+    pub fn to_cif(&self) -> String {
+        export::to_cif(&self.chip)
+    }
+
+    /// A SPICE deck of the sense path (bit cell driving the bitline into
+    /// the current-mode sense amplifier) — the per-leaf "simulation
+    /// model" output of the tool.
+    pub fn sense_path_spice(&self) -> String {
+        use bisram_circuit::{MosType, Netlist};
+        let dev = self.params.process().devices();
+        let l = self.params.process().gate_length_m();
+        let lambda_m = self.params.process().rules().lambda() as f64 * 1e-9;
+        let mut nl = Netlist::new("sense_path");
+        let vdd = nl.node("vdd!");
+        let gnd = Netlist::ground();
+        nl.vdc(vdd, gnd, dev.vdd);
+        // Selected cell pulls one bitline down through the access device.
+        let wl = nl.node("wl");
+        let bl = nl.node("bl");
+        let blb = nl.node("blb");
+        nl.vpwl(wl, gnd, vec![(0.0, 0.0), (1e-9, 0.0), (1.05e-9, dev.vdd)]);
+        nl.mos(MosType::Nmos, bl, wl, gnd, 4.0 * lambda_m, l);
+        // Bitline capacitances.
+        let rows = self.params.org().total_rows() as f64;
+        let c_bl = rows * dev.c_drain(4.0 * lambda_m, 3.0 * lambda_m);
+        nl.capacitor(bl, gnd, c_bl);
+        nl.capacitor(blb, gnd, c_bl);
+        // Cross-coupled current-mode sense pair (Fig. 3).
+        nl.mos(MosType::Pmos, bl, blb, vdd, 8.0 * lambda_m, l);
+        nl.mos(MosType::Pmos, blb, bl, vdd, 8.0 * lambda_m, l);
+        nl.to_spice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamParams;
+
+    fn small() -> CompiledRam {
+        let p = RamParams::builder()
+            .words(256)
+            .bits_per_word(8)
+            .bits_per_column(4)
+            .spare_rows(4)
+            .build()
+            .unwrap();
+        compile(&p).unwrap()
+    }
+
+    #[test]
+    fn compile_produces_all_macrocells() {
+        let ram = small();
+        for name in [
+            "ram_array",
+            "row_decoders",
+            "wl_drivers",
+            "precharge",
+            "column_mux",
+            "sense_amps",
+            "write_drivers",
+            "bist_addgen",
+            "bist_datagen",
+            "bist_trpla",
+            "bist_streg",
+            "bisr_tlb",
+        ] {
+            assert!(
+                ram.placement().find(name).is_some(),
+                "missing macrocell {name}"
+            );
+            assert!(ram.areas().report().area_of(name) > 0 || name == "ram_array");
+        }
+        assert!(ram.area_mm2() > 0.0);
+    }
+
+    #[test]
+    fn macrocells_do_not_overlap() {
+        let ram = small();
+        let placed = ram.placement().placed();
+        for i in 0..placed.len() {
+            for j in (i + 1)..placed.len() {
+                assert!(
+                    !placed[i].bbox().overlaps(placed[j].bbox()),
+                    "{} overlaps {}",
+                    placed[i].name,
+                    placed[j].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_below_seven_percent_for_realistic_sizes() {
+        // Paper abstract: "low area overheads for BIST and BISR, of at
+        // most 7% for realistic array sizes" (64 Kb to 4 Mb).
+        for (words, bpw, bpc) in [(2048, 32, 4), (8192, 32, 8), (16384, 64, 8)] {
+            let p = RamParams::builder()
+                .words(words)
+                .bits_per_word(bpw)
+                .bits_per_column(bpc)
+                .build()
+                .unwrap();
+            let ram = compile(&p).unwrap();
+            let o = ram.areas().overhead_fraction();
+            assert!(
+                o < 0.07,
+                "{words}x{bpw}: overhead {:.2}% exceeds 7%",
+                o * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_shrinks_with_array_size() {
+        let mk = |words| {
+            let p = RamParams::builder()
+                .words(words)
+                .bits_per_word(32)
+                .bits_per_column(8)
+                .build()
+                .unwrap();
+            compile(&p).unwrap().areas().overhead_fraction()
+        };
+        let small = mk(2048);
+        let large = mk(32768);
+        assert!(large < small, "overhead: small={small:.4} large={large:.4}");
+    }
+
+    #[test]
+    fn controller_is_tiny_fraction_of_sixteen_kb_array() {
+        // Paper §VI: "the controller area is found to be a very tiny
+        // fraction of the memory array area (less than 0.1%) for a
+        // 16-kbyte RAM".
+        let p = RamParams::builder()
+            .words(16384)
+            .bits_per_word(8)
+            .bits_per_column(8)
+            .build()
+            .unwrap();
+        let ram = compile(&p).unwrap();
+        let frac = ram.areas().controller_fraction_of_array();
+        assert!(frac < 0.001, "controller fraction {frac:.5}");
+    }
+
+    #[test]
+    fn floorplan_svg_and_cif_render() {
+        let ram = small();
+        let svg = ram.floorplan_svg();
+        assert!(svg.contains("ram_array") && svg.contains("bisr_tlb"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let cif = ram.to_cif();
+        assert!(cif.contains("L CMF;") && cif.trim_end().ends_with('E'));
+    }
+
+    #[test]
+    fn pla_planes_roundtrip_through_files() {
+        let ram = small();
+        let (and_s, or_s) = ram.pla_planes();
+        let back = Pla::import_planes(&and_s, &or_s).unwrap();
+        assert_eq!(&back, ram.pla());
+        assert_eq!(ram.control_program().flip_flops(), 6);
+    }
+
+    #[test]
+    fn behavioural_model_matches_parameters() {
+        let ram = small();
+        let model = ram.behavioural_model();
+        assert_eq!(model.org(), ram.params().org());
+    }
+
+    #[test]
+    fn sense_path_spice_is_simulatable_text() {
+        let ram = small();
+        let deck = ram.sense_path_spice();
+        assert!(deck.contains("M1") && deck.contains("PWL") && deck.contains(".END"));
+    }
+}

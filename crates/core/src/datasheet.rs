@@ -1,0 +1,250 @@
+//! Datasheet generation.
+//!
+//! Paper §II: BISRAMGEN "can generate simple leaf cells ahead of time and
+//! extract and simulate them, thereby extrapolating and providing timing,
+//! area, and power guarantees for the overall system before designing the
+//! overall layout" — the RAMGEN lineage of datasheets (setup/hold, read
+//! access, write times, supply currents). This module performs that
+//! extrapolation with the logical-effort and Elmore models of
+//! `bisram-circuit`.
+
+use crate::params::RamParams;
+use bisram_circuit::campath::{self, TlbTiming};
+use bisram_circuit::elmore;
+use bisram_circuit::le::{self, GateType, Path};
+use bisram_circuit::snm::{self, CellGeometry};
+use bisram_layout::leaf;
+
+/// The extrapolated electrical datasheet of a compiled RAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datasheet {
+    /// Read access time (address valid → data valid), seconds.
+    pub access_time_s: f64,
+    /// Write time, seconds.
+    pub write_time_s: f64,
+    /// Cycle time (access + precharge), seconds.
+    pub cycle_time_s: f64,
+    /// TLB compare-and-map delay (paper §VI), seconds.
+    pub tlb: TlbTiming,
+    /// Whether the TLB delay can be masked inside the precharge phase
+    /// (paper §VI technique 1) — guaranteed for 1–4 spares.
+    pub tlb_masked: bool,
+    /// Active power at the rated cycle time, watts.
+    pub active_power_w: f64,
+    /// Standby (leakage) power, watts.
+    pub standby_power_w: f64,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Hold static noise margin of the 6T cell, volts.
+    pub hold_snm_v: f64,
+    /// Read static noise margin of the 6T cell, volts.
+    pub read_snm_v: f64,
+}
+
+impl Datasheet {
+    /// Extracts the datasheet for a parameter set.
+    pub fn extrapolate(params: &RamParams) -> Datasheet {
+        let process = params.process();
+        let dev = process.devices();
+        let lgate = process.gate_length_m();
+        let lambda_m = process.rules().lambda() as f64 * 1e-9;
+        let org = params.org();
+        let tau = le::tau(dev, lgate);
+
+        // --- Row decode: address buffer + predecode + final gate.
+        let rows = org.total_rows() as f64;
+        let addr_branch = rows / 2.0; // each address line loads half the decoders
+        let buf_stages = Path::optimum_stage_count(addr_branch.max(1.0));
+        let per_stage = addr_branch.max(1.0).powf(1.0 / buf_stages as f64);
+        let mut decode = Path::new(tau);
+        for _ in 0..buf_stages {
+            decode = decode.stage(GateType::Inverter, per_stage);
+        }
+        decode = decode
+            .stage(GateType::Nand(3), 3.0)
+            .stage(GateType::Nor(2), 2.0);
+        let t_decode = decode.delay_s();
+
+        // --- Word line: driver (critical gate, scaled) into the strapped
+        // word line across all columns.
+        let cols = org.columns() as f64;
+        let wl_len = cols * leaf::SRAM_W as f64 * lambda_m;
+        let wire_w = 3.0 * lambda_m;
+        let r_wl = dev.rsh_metal * wl_len / wire_w;
+        let c_wl = dev.cw_metal * wl_len
+            + cols * 2.0 * dev.c_gate(4.0 * lambda_m, lgate); // two access gates per cell
+        let drv_w = 8.0 * lambda_m * params.gate_size() as f64;
+        let r_drv = dev.r_eff_n(drv_w, lgate);
+        let t_wl = r_drv * c_wl + elmore::wire_delay(r_wl, c_wl, 0.0);
+
+        // --- Bitline: cell discharge through the stacked access +
+        // pulldown devices. Current-mode sensing needs only a small
+        // differential (paper §IV), captured by the 0.2 swing factor.
+        let rows_total = org.total_rows() as f64;
+        let bl_len = rows_total * leaf::SRAM_H as f64 * lambda_m;
+        let c_bl = dev.cw_metal * bl_len + rows_total * dev.c_drain(4.0 * lambda_m, 3.0 * lambda_m);
+        let r_cell = 2.0 * dev.r_eff_n(4.0 * lambda_m, lgate);
+        let t_bl = 0.2 * r_cell * c_bl;
+
+        // --- Column mux + sense amplifier + output driver.
+        let t_out = Path::new(tau)
+            .stage(GateType::Mux(org.bpc() as u8), 2.0)
+            .stage(GateType::Inverter, 4.0)
+            .stage(GateType::Inverter, 4.0)
+            .delay_s();
+
+        let access = t_decode + t_wl + t_bl + t_out;
+        // Writes skip sensing: the (strong) write driver forces the
+        // bitlines directly (paper §IV: "in write mode, the sense
+        // amplifier is bypassed and the bit-lines are directly
+        // accessed").
+        let r_wdrv = dev.r_eff_n(8.0 * lambda_m, lgate);
+        let write = t_decode + t_wl + 0.5 * r_wdrv * c_bl;
+        let precharge = 0.6 * access;
+        let cycle = access + precharge;
+
+        // --- TLB delay and masking (paper §VI technique 1: overlap with
+        // the precharge phase).
+        let tlb = campath::tlb_delay(process, org.row_bits(), org.spare_rows().max(1));
+        let tlb_masked = params.delay_masking_guaranteed() && tlb.total_s() < precharge;
+
+        // --- Power: switched capacitance per cycle (one word line, the
+        // selected subarray bitlines at partial swing, decoders).
+        let c_switched = c_wl + org.bpw() as f64 * 0.2 * c_bl + 20.0 * dev.c_gate(drv_w, lgate);
+        let f = 1.0 / cycle;
+        let active_power_w = c_switched * dev.vdd * dev.vdd * f;
+        // Leakage: ~1 pA per cell at these nodes.
+        let standby_power_w = org.total_cells() as f64 * 1e-12 * dev.vdd;
+
+        // Cell stability: the standard cell geometry for this process.
+        let margins = snm::analyze(dev, &CellGeometry::standard(lgate));
+
+        Datasheet {
+            access_time_s: access,
+            write_time_s: write,
+            cycle_time_s: cycle,
+            tlb,
+            tlb_masked,
+            active_power_w,
+            standby_power_w,
+            vdd: dev.vdd,
+            hold_snm_v: margins.hold_snm,
+            read_snm_v: margins.read_snm,
+        }
+    }
+}
+
+impl std::fmt::Display for Datasheet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "read access   : {:8.2} ns", self.access_time_s * 1e9)?;
+        writeln!(f, "write time    : {:8.2} ns", self.write_time_s * 1e9)?;
+        writeln!(f, "cycle time    : {:8.2} ns", self.cycle_time_s * 1e9)?;
+        writeln!(
+            f,
+            "TLB delay     : {:8.2} ns ({})",
+            self.tlb.total_s() * 1e9,
+            if self.tlb_masked { "masked" } else { "NOT masked" }
+        )?;
+        writeln!(f, "active power  : {:8.2} mW", self.active_power_w * 1e3)?;
+        writeln!(f, "standby power : {:8.4} mW", self.standby_power_w * 1e3)?;
+        writeln!(f, "supply        : {:8.2} V", self.vdd)?;
+        writeln!(f, "hold SNM      : {:8.2} V", self.hold_snm_v)?;
+        writeln!(f, "read SNM      : {:8.2} V", self.read_snm_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamParams;
+    use bisram_tech::Process;
+
+    fn params(words: usize, bpw: usize, spares: usize) -> RamParams {
+        RamParams::builder()
+            .words(words)
+            .bits_per_word(bpw)
+            .bits_per_column(4)
+            .spare_rows(spares)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn access_time_is_nanoseconds_scale() {
+        let d = Datasheet::extrapolate(&params(4096, 32, 4));
+        assert!(
+            (1e-9..60e-9).contains(&d.access_time_s),
+            "access {:.3e} s is implausible for a 0.7 um SRAM",
+            d.access_time_s
+        );
+        assert!(d.cycle_time_s > d.access_time_s);
+        assert!(d.write_time_s < d.cycle_time_s);
+    }
+
+    #[test]
+    fn bigger_arrays_are_slower() {
+        let small = Datasheet::extrapolate(&params(1024, 8, 4));
+        let large = Datasheet::extrapolate(&params(16384, 64, 4));
+        assert!(large.access_time_s > small.access_time_s);
+    }
+
+    #[test]
+    fn tlb_delay_order_of_magnitude_below_access() {
+        // Paper §VI: the TLB delay "is at least an order of magnitude
+        // smaller than the RAM access time".
+        let d = Datasheet::extrapolate(&params(4096, 32, 4));
+        assert!(
+            d.tlb.total_s() * 5.0 < d.access_time_s,
+            "tlb {:.3e} vs access {:.3e}",
+            d.tlb.total_s(),
+            d.access_time_s
+        );
+        assert!(d.tlb_masked);
+    }
+
+    #[test]
+    fn sixteen_spares_lose_the_masking_guarantee() {
+        let d = Datasheet::extrapolate(&params(4096, 32, 16));
+        assert!(!d.tlb_masked);
+    }
+
+    #[test]
+    fn faster_process_is_faster() {
+        let p05 = RamParams::builder().process(Process::cda05()).build().unwrap();
+        let p07 = RamParams::builder().process(Process::cda07()).build().unwrap();
+        let d05 = Datasheet::extrapolate(&p05);
+        let d07 = Datasheet::extrapolate(&p07);
+        assert!(d05.access_time_s < d07.access_time_s);
+    }
+
+    #[test]
+    fn power_numbers_positive_and_display_complete() {
+        let d = Datasheet::extrapolate(&params(1024, 8, 4));
+        assert!(d.active_power_w > 0.0);
+        assert!(d.standby_power_w > 0.0 && d.standby_power_w < d.active_power_w);
+        let s = d.to_string();
+        for key in ["read access", "TLB delay", "active power", "supply", "read SNM"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn cell_is_stable_in_every_process() {
+        for p in bisram_tech::Process::builtin() {
+            let params = RamParams::builder().process(p.clone()).build().unwrap();
+            let d = Datasheet::extrapolate(&params);
+            assert!(d.read_snm_v > 0.1, "{}: read SNM {:.3}", p.name(), d.read_snm_v);
+            assert!(d.hold_snm_v > d.read_snm_v);
+        }
+    }
+
+    #[test]
+    fn critical_gate_sizing_speeds_up_the_word_line() {
+        let slow = RamParams::builder().gate_size(1).build().unwrap();
+        let fast = RamParams::builder().gate_size(4).build().unwrap();
+        assert!(
+            Datasheet::extrapolate(&fast).access_time_s
+                < Datasheet::extrapolate(&slow).access_time_s
+        );
+    }
+}

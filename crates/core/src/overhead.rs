@@ -1,0 +1,135 @@
+//! The Table I overhead report.
+//!
+//! "BISRAMGEN produces low-area overhead BIST/BISR circuitry. Table I
+//! gives some examples of the area overhead including redundancies, BIST
+//! and BISR ... the parameters used are: W (the number of words), bpc,
+//! bpw, and spares, the geometries being specified as W × bpw."
+
+use crate::compiler::compile;
+use crate::params::{ParamError, RamParams};
+use bisram_tech::Process;
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Number of words.
+    pub words: usize,
+    /// Bits per word.
+    pub bpw: usize,
+    /// Bits per column.
+    pub bpc: usize,
+    /// Spare rows.
+    pub spares: usize,
+    /// Capacity in kilobits.
+    pub kbits: usize,
+    /// Module area in mm².
+    pub area_mm2: f64,
+    /// BIST+BISR overhead (spare rows not counted), fraction.
+    pub overhead: f64,
+    /// Overhead with spare rows counted too, fraction.
+    pub overhead_with_spares: f64,
+}
+
+impl std::fmt::Display for OverheadRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>7} x {:<3} (bpc {:>2}, {} spares) {:>6} Kb  {:>8.3} mm2  {:>5.2}% ({:>5.2}% w/ spares)",
+            self.words,
+            self.bpw,
+            self.bpc,
+            self.spares,
+            self.kbits,
+            self.area_mm2,
+            self.overhead * 100.0,
+            self.overhead_with_spares * 100.0
+        )
+    }
+}
+
+/// Computes one Table I row on the given process (the paper uses
+/// `CDA0.7u3m1p` with four spare rows).
+///
+/// # Errors
+///
+/// Propagates parameter validation errors.
+pub fn overhead_row(
+    process: &Process,
+    words: usize,
+    bpw: usize,
+    bpc: usize,
+    spares: usize,
+) -> Result<OverheadRow, ParamError> {
+    let params = RamParams::builder()
+        .words(words)
+        .bits_per_word(bpw)
+        .bits_per_column(bpc)
+        .spare_rows(spares)
+        .process(process.clone())
+        .build()?;
+    let ram = compile(&params).expect("compile is infallible for valid params");
+    Ok(OverheadRow {
+        words,
+        bpw,
+        bpc,
+        spares,
+        kbits: words * bpw / 1024,
+        area_mm2: ram.area_mm2(),
+        overhead: ram.areas().overhead_fraction(),
+        overhead_with_spares: ram.areas().overhead_fraction_with_spares(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_satisfy_the_seven_percent_bound() {
+        let p = Process::cda07();
+        // Geometries spanning the paper's "realistic" 64 Kb – 4 Mb band.
+        for (words, bpw, bpc) in [
+            (2048, 32, 4),   // 64 Kb
+            (4096, 32, 8),   // 128 Kb
+            (8192, 64, 8),   // 512 Kb
+            (16384, 64, 8),  // 1 Mb
+            (32768, 128, 8), // 4 Mb
+        ] {
+            let row = overhead_row(&p, words, bpw, bpc, 4).unwrap();
+            assert!(
+                row.overhead < 0.07,
+                "{row}: overhead exceeds the paper's bound"
+            );
+            assert!(row.overhead > 0.0);
+            assert!(row.area_mm2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn spare_contribution_is_under_one_percent_for_large_arrays() {
+        // Paper §IX: 4 redundant rows against 512/1024 regular rows
+        // contribute "much less than 1% of the RAM array area".
+        let p = Process::cda07();
+        let row = overhead_row(&p, 8192, 32, 8, 4).unwrap(); // 1024 rows
+        let spare_part = row.overhead_with_spares - row.overhead;
+        assert!(
+            spare_part < 0.01,
+            "spare rows contribute {:.3}%",
+            spare_part * 100.0
+        );
+    }
+
+    #[test]
+    fn display_row_is_complete() {
+        let p = Process::cda07();
+        let row = overhead_row(&p, 2048, 32, 4, 4).unwrap();
+        let s = row.to_string();
+        assert!(s.contains("2048") && s.contains('%'));
+    }
+
+    #[test]
+    fn invalid_geometry_propagates_error() {
+        let p = Process::cda07();
+        assert!(overhead_row(&p, 2048, 32, 3, 4).is_err());
+    }
+}

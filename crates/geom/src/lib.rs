@@ -1,0 +1,85 @@
+//! Geometry kernel for the BISRAMGEN reproduction.
+//!
+//! Layout geometry is expressed in integer database units (DBU). One DBU is
+//! one nanometre throughout the workspace, which is fine-grained enough to
+//! represent quarter-lambda grids for every supported process.
+//!
+//! The crate provides:
+//!
+//! * [`Point`] / [`Vector`] — integer coordinates,
+//! * [`Rect`] — the workhorse axis-aligned rectangle with the algebra the
+//!   tiling and place-and-route engines need (intersection, union,
+//!   expansion, abutment tests),
+//! * [`Orientation`] — the eight layout orientations with composition,
+//! * [`Transform`] — orientation + translation placement transforms,
+//! * [`LayerId`] — a small index newtype shared with the technology crate,
+//! * [`Port`] — a named, layered rectangle on a cell boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use bisram_geom::{Point, Rect, Orientation, Transform};
+//!
+//! let r = Rect::new(0, 0, 100, 40);
+//! assert_eq!(r.width(), 100);
+//! assert_eq!(r.area(), 4000);
+//!
+//! // Rotate a rectangle a quarter turn around the origin and move it.
+//! let t = Transform::new(Orientation::R90, Point::new(500, 0));
+//! let placed = t.apply_rect(r);
+//! assert_eq!(placed, Rect::new(460, 0, 500, 100));
+//! ```
+
+mod orient;
+mod point;
+mod port;
+mod rect;
+mod transform;
+
+pub use orient::Orientation;
+pub use point::{Point, Vector};
+pub use port::{Port, PortDirection, Side};
+pub use rect::Rect;
+pub use transform::Transform;
+
+/// Integer database-unit coordinate. One unit is one nanometre.
+pub type Coord = i64;
+
+/// Index of a mask layer.
+///
+/// The geometry crate knows nothing about what the layers mean; the
+/// technology crate assigns meaning (diffusion, poly, metal1, ...). Keeping
+/// the newtype here lets layout data carry layers without a dependency
+/// cycle.
+///
+/// ```
+/// use bisram_geom::LayerId;
+/// let m1 = LayerId::new(4);
+/// assert_eq!(m1.index(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LayerId(u16);
+
+impl LayerId {
+    /// Creates a layer id from a raw index.
+    pub const fn new(index: u16) -> Self {
+        LayerId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for LayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u16> for LayerId {
+    fn from(index: u16) -> Self {
+        LayerId(index)
+    }
+}

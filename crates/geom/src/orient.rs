@@ -1,0 +1,214 @@
+//! The eight Manhattan layout orientations.
+
+use crate::{Point, Rect};
+
+/// One of the eight orientations of the square's symmetry group (four
+/// rotations, with and without mirroring), as used when placing cell
+/// instances.
+///
+/// Naming follows common EDA practice: `R<deg>` are counter-clockwise
+/// rotations; `MX` mirrors across the x-axis (flips y); `MY` mirrors
+/// across the y-axis (flips x); `MXR90`/`MYR90` apply the mirror first and
+/// then rotate by 90°.
+///
+/// ```
+/// use bisram_geom::{Orientation, Point};
+/// let p = Point::new(3, 1);
+/// assert_eq!(Orientation::R90.apply_point(p), Point::new(-1, 3));
+/// assert_eq!(Orientation::Mx.apply_point(p), Point::new(3, -1));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// 90° counter-clockwise rotation.
+    R90,
+    /// 180° rotation.
+    R180,
+    /// 270° counter-clockwise rotation.
+    R270,
+    /// Mirror across the x-axis (y := -y).
+    Mx,
+    /// Mirror across the y-axis (x := -x).
+    My,
+    /// Mirror across x, then rotate 90° CCW.
+    MxR90,
+    /// Mirror across y, then rotate 90° CCW.
+    MyR90,
+}
+
+impl Orientation {
+    /// All eight orientations, in a fixed order. Useful for exhaustive
+    /// searches during placement.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::Mx,
+        Orientation::My,
+        Orientation::MxR90,
+        Orientation::MyR90,
+    ];
+
+    /// The 2x2 integer matrix `[a b; c d]` of this orientation.
+    const fn matrix(self) -> (i64, i64, i64, i64) {
+        match self {
+            Orientation::R0 => (1, 0, 0, 1),
+            Orientation::R90 => (0, -1, 1, 0),
+            Orientation::R180 => (-1, 0, 0, -1),
+            Orientation::R270 => (0, 1, -1, 0),
+            Orientation::Mx => (1, 0, 0, -1),
+            Orientation::My => (-1, 0, 0, 1),
+            // Mirror then rotate 90° CCW: R90 * M.
+            Orientation::MxR90 => (0, 1, 1, 0),
+            Orientation::MyR90 => (0, -1, -1, 0),
+        }
+    }
+
+    fn from_matrix(m: (i64, i64, i64, i64)) -> Orientation {
+        Orientation::ALL
+            .into_iter()
+            .find(|o| o.matrix() == m)
+            .expect("every orthogonal matrix with entries in {-1,0,1} maps to an orientation")
+    }
+
+    /// Applies the orientation to a point around the origin.
+    pub fn apply_point(self, p: Point) -> Point {
+        let (a, b, c, d) = self.matrix();
+        Point::new(a * p.x + b * p.y, c * p.x + d * p.y)
+    }
+
+    /// Applies the orientation to a rectangle around the origin.
+    pub fn apply_rect(self, r: Rect) -> Rect {
+        let p = self.apply_point(r.ll());
+        let q = self.apply_point(r.ur());
+        Rect::new(p.x, p.y, q.x, q.y)
+    }
+
+    /// Composition: the orientation obtained by applying `self` first and
+    /// then `after`.
+    pub fn then(self, after: Orientation) -> Orientation {
+        let (a1, b1, c1, d1) = self.matrix();
+        let (a2, b2, c2, d2) = after.matrix();
+        // after * self as matrices.
+        Orientation::from_matrix((
+            a2 * a1 + b2 * c1,
+            a2 * b1 + b2 * d1,
+            c2 * a1 + d2 * c1,
+            c2 * b1 + d2 * d1,
+        ))
+    }
+
+    /// The inverse orientation.
+    pub fn inverse(self) -> Orientation {
+        Orientation::ALL
+            .into_iter()
+            .find(|o| self.then(*o) == Orientation::R0)
+            .expect("group element has an inverse")
+    }
+
+    /// True for the four mirrored orientations (determinant -1).
+    pub fn is_mirrored(self) -> bool {
+        let (a, b, c, d) = self.matrix();
+        a * d - b * c == -1
+    }
+
+    /// True when the orientation swaps the x and y extents of a shape
+    /// (R90, R270 and the mirrored quarter turns).
+    pub fn swaps_axes(self) -> bool {
+        let (a, _, _, d) = self.matrix();
+        a == 0 && d == 0
+    }
+}
+
+impl std::fmt::Display for Orientation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::Mx => "MX",
+            Orientation::My => "MY",
+            Orientation::MxR90 => "MXR90",
+            Orientation::MyR90 => "MYR90",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rotations_compose() {
+        use Orientation::*;
+        assert_eq!(R90.then(R90), R180);
+        assert_eq!(R90.then(R180), R270);
+        assert_eq!(R270.then(R90), R0);
+        assert_eq!(R180.then(R180), R0);
+    }
+
+    #[test]
+    fn mirrors_are_involutions() {
+        use Orientation::*;
+        for m in [Mx, My, MxR90, MyR90] {
+            assert_eq!(m.then(m), R0, "{m} should be an involution");
+            assert!(m.is_mirrored());
+        }
+        for r in [R0, R90, R180, R270] {
+            assert!(!r.is_mirrored());
+        }
+    }
+
+    #[test]
+    fn axis_swap_flags() {
+        use Orientation::*;
+        for o in [R90, R270, MxR90, MyR90] {
+            assert!(o.swaps_axes());
+        }
+        for o in [R0, R180, Mx, My] {
+            assert!(!o.swaps_axes());
+        }
+    }
+
+    #[test]
+    fn apply_rect_preserves_area() {
+        let r = Rect::new(1, 2, 8, 5);
+        for o in Orientation::ALL {
+            assert_eq!(o.apply_rect(r).area(), r.area(), "{o}");
+        }
+    }
+
+    fn arb_orient() -> impl Strategy<Value = Orientation> {
+        prop::sample::select(Orientation::ALL.to_vec())
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_undoes(o in arb_orient(), x in -100i64..100, y in -100i64..100) {
+            let p = Point::new(x, y);
+            prop_assert_eq!(o.inverse().apply_point(o.apply_point(p)), p);
+        }
+
+        #[test]
+        fn composition_matches_sequential_application(
+            a in arb_orient(), b in arb_orient(), x in -100i64..100, y in -100i64..100
+        ) {
+            let p = Point::new(x, y);
+            prop_assert_eq!(a.then(b).apply_point(p), b.apply_point(a.apply_point(p)));
+        }
+
+        #[test]
+        fn group_closure(a in arb_orient(), b in arb_orient()) {
+            // `then` must always return a valid element (no panic) and the
+            // group has exactly 8 elements.
+            let c = a.then(b);
+            prop_assert!(Orientation::ALL.contains(&c));
+        }
+    }
+}

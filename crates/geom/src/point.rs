@@ -1,0 +1,168 @@
+//! Integer points and displacement vectors.
+
+use crate::Coord;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A point in the layout plane, in database units.
+///
+/// ```
+/// use bisram_geom::{Point, Vector};
+/// let p = Point::new(10, 20) + Vector::new(5, -5);
+/// assert_eq!(p, Point::new(15, 15));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+/// A displacement between two [`Point`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: Coord,
+    /// Vertical component.
+    pub y: Coord,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Returns this point viewed as a displacement from the origin.
+    pub const fn to_vector(self) -> Vector {
+        Vector::new(self.x, self.y)
+    }
+
+    /// Manhattan (L1) distance to another point.
+    ///
+    /// This is the metric used by the router's wire-length estimates.
+    ///
+    /// ```
+    /// use bisram_geom::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, 4)), 7);
+    /// ```
+    pub fn manhattan_distance(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Vector {
+    /// The zero displacement.
+    pub const ZERO: Vector = Vector { x: 0, y: 0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Vector { x, y }
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl std::fmt::Display for Vector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_arithmetic_roundtrips() {
+        let a = Point::new(3, -7);
+        let b = Point::new(-4, 11);
+        let d = b - a;
+        assert_eq!(a + d, b);
+        assert_eq!(b - d, a);
+    }
+
+    #[test]
+    fn vector_negation_is_involutive() {
+        let v = Vector::new(9, -2);
+        assert_eq!(-(-v), v);
+        assert_eq!(v + (-v), Vector::ZERO);
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(5, 5);
+        let b = Point::new(-2, 9);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Vector::new(1, 2).to_string(), "<1, 2>");
+    }
+}

@@ -1,0 +1,216 @@
+//! Ports: named connection rectangles on cell boundaries.
+
+use crate::{LayerId, Rect, Transform};
+
+/// Which edge of a cell a port lies on.
+///
+/// The macrocell placer uses this to decide which orientations bring two
+/// ports face to face (the "port alignment" heuristic of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Left edge of the cell.
+    West,
+    /// Right edge of the cell.
+    East,
+    /// Bottom edge of the cell.
+    South,
+    /// Top edge of the cell.
+    North,
+}
+
+impl Side {
+    /// The opposite edge — two cells abut when a port on `self` of one
+    /// faces a port on `self.opposite()` of the other.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::West => Side::East,
+            Side::East => Side::West,
+            Side::South => Side::North,
+            Side::North => Side::South,
+        }
+    }
+
+    /// True for `West`/`East`.
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Side::West | Side::East)
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Side::West => "W",
+            Side::East => "E",
+            Side::South => "S",
+            Side::North => "N",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Signal direction of a port, for connectivity checking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Input pin.
+    Input,
+    /// Output pin.
+    Output,
+    /// Bidirectional pin (e.g. bitlines).
+    #[default]
+    Inout,
+    /// Power or ground pin.
+    Supply,
+}
+
+impl std::fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PortDirection::Input => "input",
+            PortDirection::Output => "output",
+            PortDirection::Inout => "inout",
+            PortDirection::Supply => "supply",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, layered landing rectangle on a cell.
+///
+/// Ports at matching positions on abutting cell edges connect by
+/// construction, with no routing — the property BISRAMGEN exploits for its
+/// structured macrocells.
+///
+/// ```
+/// use bisram_geom::{Port, PortDirection, Side, Rect, LayerId};
+/// let p = Port::new("bl0", LayerId::new(4), Rect::new(0, 10, 4, 20), Side::West)
+///     .with_direction(PortDirection::Inout);
+/// assert_eq!(p.name(), "bl0");
+/// assert_eq!(p.side(), Side::West);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Port {
+    name: String,
+    layer: LayerId,
+    rect: Rect,
+    side: Side,
+    direction: PortDirection,
+}
+
+impl Port {
+    /// Creates a port. Direction defaults to [`PortDirection::Inout`].
+    pub fn new(name: impl Into<String>, layer: LayerId, rect: Rect, side: Side) -> Self {
+        Port {
+            name: name.into(),
+            layer,
+            rect,
+            side,
+            direction: PortDirection::Inout,
+        }
+    }
+
+    /// Sets the signal direction (builder style).
+    pub fn with_direction(mut self, direction: PortDirection) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Port name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mask layer of the landing rectangle.
+    pub fn layer(&self) -> LayerId {
+        self.layer
+    }
+
+    /// Landing rectangle in the cell's coordinate system.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Which cell edge the port sits on.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Signal direction.
+    pub fn direction(&self) -> PortDirection {
+        self.direction
+    }
+
+    /// Returns the port as seen through an instance transform. The side is
+    /// recomputed from how the transform maps the outward normal.
+    pub fn transformed(&self, t: Transform) -> Port {
+        use crate::Vector;
+        let normal = match self.side {
+            Side::West => Vector::new(-1, 0),
+            Side::East => Vector::new(1, 0),
+            Side::South => Vector::new(0, -1),
+            Side::North => Vector::new(0, 1),
+        };
+        let n = t.apply_vector(normal);
+        let side = match (n.x, n.y) {
+            (-1, 0) => Side::West,
+            (1, 0) => Side::East,
+            (0, -1) => Side::South,
+            (0, 1) => Side::North,
+            _ => unreachable!("orientation maps axis normals to axis normals"),
+        };
+        Port {
+            name: self.name.clone(),
+            layer: self.layer,
+            rect: t.apply_rect(self.rect),
+            side,
+            direction: self.direction,
+        }
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} {} on {} side {})",
+            self.name, self.direction, self.layer, self.rect, self.side
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Orientation, Point};
+
+    #[test]
+    fn side_opposites() {
+        assert_eq!(Side::West.opposite(), Side::East);
+        assert_eq!(Side::North.opposite(), Side::South);
+        for s in [Side::West, Side::East, Side::North, Side::South] {
+            assert_eq!(s.opposite().opposite(), s);
+        }
+    }
+
+    #[test]
+    fn transformed_port_tracks_side() {
+        let p = Port::new("a", LayerId::new(1), Rect::new(0, 0, 2, 10), Side::West);
+        // Mirroring across y swaps west and east.
+        let t = Transform::new(Orientation::My, Point::new(50, 0));
+        assert_eq!(p.transformed(t).side(), Side::East);
+        // Quarter turn maps west to south.
+        let t = Transform::new(Orientation::R90, Point::ORIGIN);
+        assert_eq!(p.transformed(t).side(), Side::South);
+    }
+
+    #[test]
+    fn transformed_port_keeps_identity_fields() {
+        let p = Port::new("wl3", LayerId::new(2), Rect::new(1, 1, 3, 3), Side::North)
+            .with_direction(PortDirection::Input);
+        let q = p.transformed(Transform::translate(Point::new(10, 0)));
+        assert_eq!(q.name(), "wl3");
+        assert_eq!(q.layer(), LayerId::new(2));
+        assert_eq!(q.direction(), PortDirection::Input);
+        assert_eq!(q.rect(), Rect::new(11, 1, 13, 3));
+        assert_eq!(q.side(), Side::North);
+    }
+}

@@ -1,0 +1,127 @@
+//! Area accounting — the input to the Table I overhead report.
+
+/// An itemized area report over the macrocells of a compiled RAM.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AreaReport {
+    entries: Vec<(String, i128)>,
+}
+
+impl AreaReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        AreaReport::default()
+    }
+
+    /// Adds (or accumulates into) a named item.
+    pub fn add(&mut self, name: &str, area: i128) {
+        assert!(area >= 0, "area cannot be negative");
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, a)) => *a += area,
+            None => self.entries.push((name.to_owned(), area)),
+        }
+    }
+
+    /// Area of one item.
+    pub fn area_of(&self, name: &str) -> i128 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+            .unwrap_or(0)
+    }
+
+    /// All entries, insertion-ordered.
+    pub fn entries(&self) -> &[(String, i128)] {
+        &self.entries
+    }
+
+    /// Total accounted area.
+    pub fn total(&self) -> i128 {
+        self.entries.iter().map(|(_, a)| *a).sum()
+    }
+
+    /// Fraction of the total taken by one item.
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.area_of(name) as f64 / total as f64
+        }
+    }
+
+    /// The Table I quantity: the area of all items whose name matches
+    /// `predicate`, as a fraction of the remaining (base) area.
+    pub fn overhead<F: Fn(&str) -> bool>(&self, is_overhead: F) -> f64 {
+        let over: i128 = self
+            .entries
+            .iter()
+            .filter(|(n, _)| is_overhead(n))
+            .map(|(_, a)| *a)
+            .sum();
+        let base = self.total() - over;
+        if base == 0 {
+            0.0
+        } else {
+            over as f64 / base as f64
+        }
+    }
+}
+
+impl std::fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total();
+        for (name, area) in &self.entries {
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * *area as f64 / total as f64
+            };
+            writeln!(f, "{name:<24} {area:>16} nm2  ({pct:5.2}%)")?;
+        }
+        writeln!(f, "{:<24} {total:>16} nm2", "TOTAL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_totals() {
+        let mut r = AreaReport::new();
+        r.add("array", 1000);
+        r.add("bist", 50);
+        r.add("bist", 25);
+        assert_eq!(r.area_of("bist"), 75);
+        assert_eq!(r.total(), 1075);
+        assert!((r.fraction("array") - 1000.0 / 1075.0).abs() < 1e-12);
+        assert_eq!(r.area_of("missing"), 0);
+    }
+
+    #[test]
+    fn overhead_computation() {
+        let mut r = AreaReport::new();
+        r.add("array", 10_000);
+        r.add("decoders", 1_000);
+        r.add("bist_datagen", 300);
+        r.add("bisr_tlb", 200);
+        let overhead = r.overhead(|n| n.starts_with("bist") || n.starts_with("bisr"));
+        assert!((overhead - 500.0 / 11_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_every_entry() {
+        let mut r = AreaReport::new();
+        r.add("a", 10);
+        r.add("b", 30);
+        let s = r.to_string();
+        assert!(s.contains('a') && s.contains('b') && s.contains("TOTAL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_area_rejected() {
+        AreaReport::new().add("x", -1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The hierarchical layout database.
+
+use bisram_geom::{Port, Rect, Transform};
+use bisram_tech::Layer;
+use std::sync::Arc;
+
+/// A placed instance of a master cell.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name (unique within the parent).
+    pub name: String,
+    /// The master cell.
+    pub master: Arc<Cell>,
+    /// Placement transform (master → parent coordinates).
+    pub transform: Transform,
+}
+
+impl Instance {
+    /// Bounding box of the instance in parent coordinates.
+    pub fn bbox(&self) -> Rect {
+        self.transform.apply_rect(self.master.bbox())
+    }
+}
+
+/// A layout cell: shapes, ports and child instances.
+///
+/// ```
+/// use bisram_layout::Cell;
+/// use bisram_geom::{Rect, Port, Side, LayerId};
+/// use bisram_tech::Layer;
+///
+/// let mut c = Cell::new("leaf");
+/// c.add_shape(Layer::Metal1, Rect::new(0, 0, 300, 300));
+/// c.add_port(Port::new("a", Layer::Metal1.id(), Rect::new(0, 100, 50, 200), Side::West));
+/// assert_eq!(c.bbox(), Rect::new(0, 0, 300, 300));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    name: String,
+    shapes: Vec<(Layer, Rect)>,
+    ports: Vec<Port>,
+    instances: Vec<Instance>,
+    /// Optional explicit outline; when unset the bbox of contents is
+    /// used. Tiling relies on outlines so cells abut exactly at their
+    /// pitch even when drawn geometry is inset.
+    outline: Option<Rect>,
+}
+
+impl Cell {
+    /// Creates an empty cell.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cell {
+            name: name.into(),
+            ..Cell::default()
+        }
+    }
+
+    /// Cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a rectangle on a layer.
+    pub fn add_shape(&mut self, layer: Layer, rect: Rect) {
+        self.shapes.push((layer, rect));
+    }
+
+    /// Adds a port.
+    pub fn add_port(&mut self, port: Port) {
+        self.ports.push(port);
+    }
+
+    /// Places a child instance.
+    pub fn add_instance(&mut self, name: impl Into<String>, master: Arc<Cell>, transform: Transform) {
+        self.instances.push(Instance {
+            name: name.into(),
+            master,
+            transform,
+        });
+    }
+
+    /// Sets an explicit outline (abutment box).
+    pub fn set_outline(&mut self, outline: Rect) {
+        self.outline = Some(outline);
+    }
+
+    /// Own (non-hierarchical) shapes.
+    pub fn shapes(&self) -> &[(Layer, Rect)] {
+        &self.shapes
+    }
+
+    /// Ports in cell coordinates.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Looks a port up by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name() == name)
+    }
+
+    /// Child instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The abutment box: the explicit outline if set, else the bounding
+    /// box of all contents (empty cell ⇒ zero rect).
+    pub fn bbox(&self) -> Rect {
+        if let Some(o) = self.outline {
+            return o;
+        }
+        let own = self.shapes.iter().map(|(_, r)| *r);
+        let kids = self.instances.iter().map(|i| i.bbox());
+        let ports = self.ports.iter().map(|p| p.rect());
+        Rect::bounding(own.chain(kids).chain(ports)).unwrap_or(Rect::EMPTY)
+    }
+
+    /// Area of the abutment box in square DBU.
+    pub fn area(&self) -> i128 {
+        self.bbox().area()
+    }
+
+    /// Flattens the hierarchy to `(Layer, Rect)` pairs in this cell's
+    /// coordinates — the DRC and export input.
+    pub fn flatten(&self) -> Vec<(Layer, Rect)> {
+        let mut out = Vec::new();
+        self.flatten_into(Transform::IDENTITY, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, t: Transform, out: &mut Vec<(Layer, Rect)>) {
+        for (layer, rect) in &self.shapes {
+            out.push((*layer, t.apply_rect(*rect)));
+        }
+        for inst in &self.instances {
+            inst.master.flatten_into(inst.transform.then(t), out);
+        }
+    }
+
+    /// Total shape count including the hierarchy (cheap complexity
+    /// metric used in reports).
+    pub fn flat_shape_count(&self) -> usize {
+        self.shapes.len()
+            + self
+                .instances
+                .iter()
+                .map(|i| i.master.flat_shape_count())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_geom::{Orientation, Point, Side};
+
+    fn leaf() -> Arc<Cell> {
+        let mut c = Cell::new("leaf");
+        c.add_shape(Layer::Metal1, Rect::new(0, 0, 100, 100));
+        c.add_port(Port::new(
+            "p",
+            Layer::Metal1.id(),
+            Rect::new(0, 40, 20, 60),
+            Side::West,
+        ));
+        Arc::new(c)
+    }
+
+    #[test]
+    fn bbox_covers_shapes_and_instances() {
+        let mut top = Cell::new("top");
+        top.add_shape(Layer::Poly, Rect::new(-50, 0, 0, 10));
+        top.add_instance(
+            "i0",
+            leaf(),
+            Transform::translate(Point::new(200, 0)),
+        );
+        assert_eq!(top.bbox(), Rect::new(-50, 0, 300, 100));
+    }
+
+    #[test]
+    fn outline_overrides_bbox() {
+        let mut c = Cell::new("c");
+        c.add_shape(Layer::Metal1, Rect::new(10, 10, 50, 50));
+        c.set_outline(Rect::new(0, 0, 100, 100));
+        assert_eq!(c.bbox(), Rect::new(0, 0, 100, 100));
+        assert_eq!(c.area(), 10_000);
+    }
+
+    #[test]
+    fn flatten_applies_nested_transforms() {
+        let mut mid = Cell::new("mid");
+        mid.add_instance("l", leaf(), Transform::translate(Point::new(10, 0)));
+        let mut top = Cell::new("top");
+        top.add_instance(
+            "m",
+            Arc::new(mid),
+            Transform::new(Orientation::R90, Point::new(0, 0)),
+        );
+        let flat = top.flatten();
+        assert_eq!(flat.len(), 1);
+        // leaf rect (0,0,100,100) shifted to (10,0,110,100), then R90:
+        // (x,y) -> (-y,x): (-100,10,0,110).
+        assert_eq!(flat[0].1, Rect::new(-100, 10, 0, 110));
+    }
+
+    #[test]
+    fn flat_shape_count_counts_hierarchy() {
+        let mut top = Cell::new("top");
+        top.add_shape(Layer::Poly, Rect::new(0, 0, 1, 1));
+        top.add_instance("a", leaf(), Transform::IDENTITY);
+        top.add_instance("b", leaf(), Transform::translate(Point::new(500, 0)));
+        assert_eq!(top.flat_shape_count(), 3);
+    }
+
+    #[test]
+    fn port_lookup() {
+        let l = leaf();
+        assert!(l.port("p").is_some());
+        assert!(l.port("q").is_none());
+    }
+
+    #[test]
+    fn empty_cell_has_zero_bbox() {
+        let c = Cell::new("empty");
+        assert_eq!(c.bbox(), Rect::EMPTY);
+    }
+}

@@ -1,0 +1,105 @@
+//! Column-failure detection by redundancy swamping.
+//!
+//! Paper §VI: "If a column is faulty, the row redundancy will be quickly
+//! swamped because every single word on a faulty column will be found to
+//! be faulty. Also, in the second pass of our BIST approach, a 'Repair
+//! Unsuccessful' signal will be produced ... Thus column failures can be
+//! detected but not directly repaired in our approach." (The paper
+//! deliberately omits column repair circuitry to keep the access path
+//! untouched.)
+
+use bisram_bist::engine::MarchOutcome;
+use bisram_mem::ArrayOrg;
+
+/// Diagnosis of a first-pass fail log for column-failure signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDiagnosis {
+    /// True when the number of faulty rows exceeds the spare-row budget —
+    /// the swamping symptom.
+    pub redundancy_swamped: bool,
+    /// Column-select values whose failures span at least half the rows —
+    /// the signature of a broken bitline pair.
+    pub suspect_column_selects: Vec<usize>,
+}
+
+impl ColumnDiagnosis {
+    /// True when the fail pattern points at a column failure rather than
+    /// scattered cell defects.
+    pub fn is_column_failure(&self) -> bool {
+        self.redundancy_swamped && !self.suspect_column_selects.is_empty()
+    }
+}
+
+/// Diagnoses a pass-1 march outcome.
+///
+/// A full-column failure at column-select `c` makes every word address
+/// congruent to `c` (mod `bpc`) fail — i.e. one failing word per row, all
+/// sharing the column-select field. We flag a column-select as suspect
+/// when at least half the rows fail at it.
+pub fn diagnose(outcome: &MarchOutcome, org: &ArrayOrg) -> ColumnDiagnosis {
+    let faulty_rows = outcome.faulty_rows();
+    let redundancy_swamped = faulty_rows.len() > org.spare_rows();
+
+    // Distinct failing rows per column-select.
+    let mut rows_per_col: Vec<std::collections::HashSet<usize>> =
+        vec![std::collections::HashSet::new(); org.bpc()];
+    for f in outcome.fails() {
+        rows_per_col[f.addr % org.bpc()].insert(f.row);
+    }
+    let threshold = org.rows().div_ceil(2);
+    let suspect_column_selects: Vec<usize> = rows_per_col
+        .iter()
+        .enumerate()
+        .filter(|(_, rows)| rows.len() >= threshold)
+        .map(|(c, _)| c)
+        .collect();
+
+    ColumnDiagnosis {
+        redundancy_swamped,
+        suspect_column_selects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_bist::engine::{run_march, MarchConfig};
+    use bisram_bist::march;
+    use bisram_mem::{column_failure, random_faults, FaultMix, SramModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn column_failure_is_diagnosed() {
+        let org = ArrayOrg::new(256, 8, 4, 4).unwrap();
+        let mut ram = SramModel::new(org);
+        ram.inject_all(column_failure(&org, 3, 1, true));
+        let out = run_march(&march::ifa9(), &mut ram, &MarchConfig::default(), None);
+        let d = diagnose(&out, &org);
+        assert!(d.redundancy_swamped, "64 faulty rows >> 4 spares");
+        assert_eq!(d.suspect_column_selects, vec![1]);
+        assert!(d.is_column_failure());
+    }
+
+    #[test]
+    fn scattered_faults_do_not_trigger_column_diagnosis() {
+        let org = ArrayOrg::new(256, 8, 4, 4).unwrap();
+        let mut ram = SramModel::new(org);
+        let mut rng = StdRng::seed_from_u64(5);
+        ram.inject_all(random_faults(&mut rng, &org, 3, &FaultMix::stuck_at_only()));
+        let out = run_march(&march::ifa9(), &mut ram, &MarchConfig::default(), None);
+        let d = diagnose(&out, &org);
+        assert!(!d.is_column_failure());
+        assert!(d.suspect_column_selects.is_empty());
+    }
+
+    #[test]
+    fn clean_memory_diagnoses_clean() {
+        let org = ArrayOrg::new(64, 8, 4, 2).unwrap();
+        let mut ram = SramModel::new(org);
+        let out = run_march(&march::ifa9(), &mut ram, &MarchConfig::default(), None);
+        let d = diagnose(&out, &org);
+        assert!(!d.redundancy_swamped);
+        assert!(!d.is_column_failure());
+    }
+}

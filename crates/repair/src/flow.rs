@@ -1,0 +1,343 @@
+//! The two-pass self-test-and-repair flow.
+//!
+//! Paper §V: "The test involves two passes. In the first pass, the memory
+//! array is tested and faulty addresses are stored in a translation
+//! lookaside buffer (TLB). In the second pass, the array is retested
+//! along with the mapped redundant addresses. Any fault detected in the
+//! second pass produces a 'Repair Unsuccessful' status signal, which
+//! implies either too many faults in the memory array or faulty spares.
+//! This two-pass algorithm can be easily converted to a 2·k-pass
+//! algorithm; that is, the cycle of self-testing and self-repair may be
+//! iterated to repair faults within the spares themselves."
+
+use crate::tlb::Tlb;
+use bisram_bist::engine::{run_march, MarchConfig};
+use bisram_bist::march::{self, MarchTest};
+use bisram_mem::SramModel;
+
+/// Configuration of a repair session.
+#[derive(Debug, Clone)]
+pub struct RepairSetup {
+    /// March test to run (IFA-9 by default, as microprogrammed into the
+    /// TRPLA).
+    pub test: MarchTest,
+    /// Engine configuration (Johnson backgrounds, full fail logging).
+    pub march: MarchConfig,
+    /// Maximum test passes. `2` is the paper's base algorithm (one
+    /// capture pass, one verify pass); larger values enable the iterated
+    /// variant that replaces faulty spares.
+    pub max_passes: usize,
+}
+
+impl Default for RepairSetup {
+    fn default() -> Self {
+        RepairSetup {
+            test: march::ifa9(),
+            march: MarchConfig::default(),
+            max_passes: 2,
+        }
+    }
+}
+
+impl RepairSetup {
+    /// The iterated `2·k`-pass variant able to repair faulty spares.
+    pub fn iterated(max_passes: usize) -> Self {
+        assert!(max_passes >= 2, "need at least capture + verify");
+        RepairSetup {
+            max_passes,
+            ..RepairSetup::default()
+        }
+    }
+}
+
+/// Why a repair session failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnrepairableReason {
+    /// More faulty rows than free spares (at some pass).
+    OutOfSpares {
+        /// Rows that still needed mapping when the spares ran out.
+        unmapped_rows: usize,
+    },
+    /// Mismatches persisted through the final allowed pass.
+    FaultsPersist,
+}
+
+/// Outcome of a repair session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// Pass 1 found no faults: the array is good as manufactured.
+    AlreadyGood,
+    /// Repair succeeded: the final verify pass was clean.
+    Repaired {
+        /// Spares consumed (including any burned on faulty spares).
+        spares_used: usize,
+    },
+    /// The paper's "Repair Unsuccessful" status signal.
+    Unsuccessful {
+        /// Diagnosis.
+        reason: UnrepairableReason,
+    },
+}
+
+impl RepairOutcome {
+    /// True for both `AlreadyGood` and `Repaired`.
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, RepairOutcome::Unsuccessful { .. })
+    }
+
+    /// True only when spares were actually deployed.
+    pub fn is_repaired(&self) -> bool {
+        matches!(self, RepairOutcome::Repaired { .. })
+    }
+}
+
+/// Full report of a repair session.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Final outcome.
+    pub outcome: RepairOutcome,
+    /// The TLB as programmed (useful even on failure, for diagnosis).
+    pub tlb: Tlb,
+    /// Test passes executed.
+    pub passes: usize,
+    /// Faulty rows seen in the first pass.
+    pub pass1_faulty_rows: Vec<usize>,
+    /// Total memory operations spent on self-test.
+    pub operations: u64,
+}
+
+/// Runs the self-test-and-repair flow on a memory.
+///
+/// Pass 1 runs the march unmapped and captures every distinct faulty row
+/// into the TLB (strictly increasing spare assignment). Each subsequent
+/// pass re-runs the march through the TLB; mismatching rows are captured
+/// again (remapping rows whose spare was itself faulty) until a pass is
+/// clean or `max_passes` is exhausted.
+pub fn self_test_and_repair(ram: &mut SramModel, setup: &RepairSetup) -> RepairReport {
+    let org = *ram.org();
+    let mut tlb = Tlb::new(org.rows(), org.spare_rows());
+    let mut operations: u64 = 0;
+
+    // Pass 1: unmapped capture pass.
+    let pass1 = run_march(&setup.test, ram, &setup.march, None);
+    operations += pass1.reads() + pass1.writes();
+    let pass1_faulty_rows = pass1.faulty_rows();
+    if !pass1.detected() {
+        return RepairReport {
+            outcome: RepairOutcome::AlreadyGood,
+            tlb,
+            passes: 1,
+            pass1_faulty_rows,
+            operations,
+        };
+    }
+    if let Err(e) = capture_rows(&mut tlb, &pass1_faulty_rows) {
+        return RepairReport {
+            outcome: RepairOutcome::Unsuccessful { reason: e },
+            tlb,
+            passes: 1,
+            pass1_faulty_rows,
+            operations,
+        };
+    }
+
+    // Verify (and possibly iterate).
+    let mut passes = 1;
+    while passes < setup.max_passes {
+        passes += 1;
+        let verify = run_march(&setup.test, ram, &setup.march, Some(&tlb));
+        operations += verify.reads() + verify.writes();
+        if !verify.detected() {
+            return RepairReport {
+                outcome: RepairOutcome::Repaired {
+                    spares_used: tlb.used(),
+                },
+                tlb,
+                passes,
+                pass1_faulty_rows,
+                operations,
+            };
+        }
+        if passes == setup.max_passes {
+            return RepairReport {
+                outcome: RepairOutcome::Unsuccessful {
+                    reason: UnrepairableReason::FaultsPersist,
+                },
+                tlb,
+                passes,
+                pass1_faulty_rows,
+                operations,
+            };
+        }
+        // Iterated variant: recapture the still-failing rows (their
+        // spares were faulty, or they are newly exposed rows).
+        if let Err(e) = capture_rows(&mut tlb, &verify.faulty_rows()) {
+            return RepairReport {
+                outcome: RepairOutcome::Unsuccessful { reason: e },
+                tlb,
+                passes,
+                pass1_faulty_rows,
+                operations,
+            };
+        }
+    }
+
+    RepairReport {
+        outcome: RepairOutcome::Unsuccessful {
+            reason: UnrepairableReason::FaultsPersist,
+        },
+        tlb,
+        passes,
+        pass1_faulty_rows,
+        operations,
+    }
+}
+
+fn capture_rows(tlb: &mut Tlb, rows: &[usize]) -> Result<(), UnrepairableReason> {
+    for (i, &row) in rows.iter().enumerate() {
+        if tlb.capture(row).is_err() {
+            return Err(UnrepairableReason::OutOfSpares {
+                unmapped_rows: rows.len() - i,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_bist::RowMap;
+    use bisram_mem::{row_failure, ArrayOrg, Fault, FaultKind, Word};
+
+    fn org(spares: usize) -> ArrayOrg {
+        ArrayOrg::new(256, 8, 4, spares).unwrap()
+    }
+
+    #[test]
+    fn clean_memory_is_already_good() {
+        let mut ram = SramModel::new(org(4));
+        let report = self_test_and_repair(&mut ram, &RepairSetup::default());
+        assert_eq!(report.outcome, RepairOutcome::AlreadyGood);
+        assert_eq!(report.passes, 1);
+        assert!(report.pass1_faulty_rows.is_empty());
+        assert!(report.operations > 0);
+    }
+
+    #[test]
+    fn single_faulty_row_repaired_with_one_spare() {
+        let o = org(4);
+        let mut ram = SramModel::new(o);
+        ram.inject_all(row_failure(&o, 9, true));
+        let report = self_test_and_repair(&mut ram, &RepairSetup::default());
+        assert_eq!(report.outcome, RepairOutcome::Repaired { spares_used: 1 });
+        assert_eq!(report.pass1_faulty_rows, vec![9]);
+        assert_eq!(report.tlb.map_row(9), o.rows());
+        // The repaired memory now works through the map.
+        let addr = o.join(9, 0);
+        let phys = report.tlb.map_row(9);
+        ram.write_word_at(phys, 0, Word::from_u64(0x5A, 8));
+        assert_eq!(ram.read_word_at(phys, 0).to_u64(), 0x5A);
+        let _ = addr;
+    }
+
+    #[test]
+    fn repairs_up_to_spare_count_rows() {
+        let o = org(4);
+        let mut ram = SramModel::new(o);
+        for row in [3, 17, 42, 63] {
+            ram.inject(Fault::new(o.cell_at(row, 1, 2), FaultKind::StuckAt(true)));
+        }
+        let report = self_test_and_repair(&mut ram, &RepairSetup::default());
+        assert_eq!(report.outcome, RepairOutcome::Repaired { spares_used: 4 });
+        assert_eq!(report.pass1_faulty_rows.len(), 4);
+    }
+
+    #[test]
+    fn too_many_faulty_rows_is_out_of_spares() {
+        let o = org(2);
+        let mut ram = SramModel::new(o);
+        for row in [1, 2, 3] {
+            ram.inject(Fault::new(o.cell_at(row, 0, 0), FaultKind::StuckAt(true)));
+        }
+        let report = self_test_and_repair(&mut ram, &RepairSetup::default());
+        assert_eq!(
+            report.outcome,
+            RepairOutcome::Unsuccessful {
+                reason: UnrepairableReason::OutOfSpares { unmapped_rows: 1 }
+            }
+        );
+    }
+
+    #[test]
+    fn faulty_spare_fails_two_pass_but_iterated_repairs() {
+        let o = org(4);
+        let build = || {
+            let mut ram = SramModel::new(o);
+            // Row 5 faulty; spare 0 (the row it will map to) also faulty.
+            ram.inject(Fault::new(o.cell_at(5, 0, 0), FaultKind::StuckAt(true)));
+            ram.inject(Fault::new(
+                o.cell_at(o.rows(), 0, 0),
+                FaultKind::StuckAt(false),
+            ));
+            ram
+        };
+
+        // Base two-pass algorithm: Repair Unsuccessful (faulty spare).
+        let mut ram = build();
+        let two_pass = self_test_and_repair(&mut ram, &RepairSetup::default());
+        assert_eq!(
+            two_pass.outcome,
+            RepairOutcome::Unsuccessful {
+                reason: UnrepairableReason::FaultsPersist
+            }
+        );
+
+        // Iterated 2k-pass: row 5 is recaptured onto spare 1.
+        let mut ram = build();
+        let iterated = self_test_and_repair(&mut ram, &RepairSetup::iterated(4));
+        assert_eq!(iterated.outcome, RepairOutcome::Repaired { spares_used: 2 });
+        assert_eq!(iterated.tlb.map_row(5), o.rows() + 1);
+    }
+
+    #[test]
+    fn spare_exhaustion_via_faulty_spares() {
+        let o = org(2);
+        let mut ram = SramModel::new(o);
+        // One faulty row but both spares faulty: iterated repair burns
+        // through them and runs out.
+        ram.inject(Fault::new(o.cell_at(7, 0, 0), FaultKind::StuckAt(true)));
+        ram.inject(Fault::new(
+            o.cell_at(o.rows(), 0, 0),
+            FaultKind::StuckAt(true),
+        ));
+        ram.inject(Fault::new(
+            o.cell_at(o.rows() + 1, 0, 0),
+            FaultKind::StuckAt(true),
+        ));
+        let report = self_test_and_repair(&mut ram, &RepairSetup::iterated(6));
+        assert!(matches!(
+            report.outcome,
+            RepairOutcome::Unsuccessful {
+                reason: UnrepairableReason::OutOfSpares { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(RepairOutcome::AlreadyGood.is_usable());
+        assert!(!RepairOutcome::AlreadyGood.is_repaired());
+        assert!(RepairOutcome::Repaired { spares_used: 1 }.is_repaired());
+        assert!(!RepairOutcome::Unsuccessful {
+            reason: UnrepairableReason::FaultsPersist
+        }
+        .is_usable());
+    }
+
+    #[test]
+    #[should_panic(expected = "capture + verify")]
+    fn iterated_needs_two_passes() {
+        let _ = RepairSetup::iterated(1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Built-in self-repair for the BISRAMGEN reproduction.
+//!
+//! Paper §VI: faulty row addresses detected by BIST are stored in a
+//! translation lookaside buffer (TLB) that "associates a sequence of
+//! faulty addresses with a unique, *predetermined, strictly increasing*
+//! sequence of redundant addresses ... In the second pass, the incoming
+//! address is compared in parallel with all the stored addresses in the
+//! TLB. If a match is found, an address diversion occurs to a redundant
+//! location ... The strictly increasing sequence of redundant addresses
+//! guarantees that, provided enough spares are available, any faulty
+//! (nonspare or spare) row can be replaced."
+//!
+//! This crate implements:
+//!
+//! * [`Tlb`] — the fault-address CAM with the strictly-increasing spare
+//!   assignment and latest-entry-wins lookup (which is what makes the
+//!   iterated `2^k`-pass repair of faulty spares converge),
+//! * [`flow`] — the two-pass self-test-and-repair controller flow,
+//!   including the `Repair Unsuccessful` outcomes and the iterated
+//!   variant,
+//! * [`sawada`] — the 1989 Sawada et al. baseline (a single fail-address
+//!   register),
+//! * [`chen_sunada`] — the 1993 Chen–Sunada hierarchical baseline (two
+//!   fault-capture blocks per subblock plus a top-level fault assembler),
+//! * [`column`] — column-failure detection through redundancy swamping.
+//!
+//! # Examples
+//!
+//! ```
+//! use bisram_mem::{ArrayOrg, SramModel, row_failure};
+//! use bisram_repair::flow::{self, RepairSetup};
+//!
+//! let org = ArrayOrg::new(1024, 8, 4, 4)?;
+//! let mut ram = SramModel::new(org);
+//! ram.inject_all(row_failure(&org, 17, true));
+//!
+//! let report = flow::self_test_and_repair(&mut ram, &RepairSetup::default());
+//! assert!(report.outcome.is_repaired());
+//! # Ok::<(), bisram_mem::OrgError>(())
+//! ```
+
+pub mod chen_sunada;
+pub mod column;
+pub mod flow;
+pub mod sawada;
+mod tlb;
+
+pub use tlb::{Tlb, TlbError};

@@ -1,0 +1,230 @@
+//! The fault-address translation lookaside buffer.
+
+use bisram_bist::RowMap;
+
+/// Error raised when capturing into a full TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbError {
+    /// Number of spares the TLB manages (all in use).
+    pub spares: usize,
+}
+
+impl std::fmt::Display for TlbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all {} spare rows are already assigned", self.spares)
+    }
+}
+
+impl std::error::Error for TlbError {}
+
+/// The BISR TLB: a small CAM associating captured faulty row addresses
+/// with spare rows in a predetermined, strictly increasing order.
+///
+/// * **Capture** (pass 1, and later passes for faulty spares): the next
+///   free spare — always the lowest unassigned index — is bound to the
+///   failing logical row. The spare sequence is therefore strictly
+///   increasing in capture order, the invariant paper §VI relies on.
+/// * **Lookup** (pass 2 and normal operation): the incoming row address
+///   is compared *in parallel* with every stored address; among multiple
+///   matches the most recently captured entry wins, so a row whose first
+///   spare turned out faulty resolves to its replacement spare.
+///
+/// ```
+/// use bisram_repair::Tlb;
+/// use bisram_bist::RowMap;
+///
+/// let mut tlb = Tlb::new(1024, 4);
+/// tlb.capture(17)?;          // row 17 -> spare 0 (physical row 1024)
+/// tlb.capture(900)?;         // row 900 -> spare 1
+/// assert_eq!(tlb.map_row(17), 1024);
+/// assert_eq!(tlb.map_row(900), 1025);
+/// assert_eq!(tlb.map_row(3), 3); // unmapped rows pass through
+///
+/// // Spare 0 turns out faulty: recapture row 17.
+/// tlb.capture(17)?;          // row 17 -> spare 2; latest entry wins
+/// assert_eq!(tlb.map_row(17), 1026);
+/// # Ok::<(), bisram_repair::TlbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tlb {
+    regular_rows: usize,
+    spares: usize,
+    /// `entries[i]` = logical row mapped to spare `i`. Index order *is*
+    /// capture order — the strictly increasing sequence.
+    entries: Vec<usize>,
+}
+
+impl Tlb {
+    /// Creates an empty TLB for an array with `regular_rows` rows and
+    /// `spares` spare rows.
+    pub fn new(regular_rows: usize, spares: usize) -> Self {
+        Tlb {
+            regular_rows,
+            spares,
+            entries: Vec::with_capacity(spares),
+        }
+    }
+
+    /// Number of spare rows managed.
+    pub fn spares(&self) -> usize {
+        self.spares
+    }
+
+    /// Spares already assigned.
+    pub fn used(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Spares still free.
+    pub fn free(&self) -> usize {
+        self.spares - self.entries.len()
+    }
+
+    /// The capture log: `(logical_row, spare_index)` pairs in capture
+    /// order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.entries.iter().enumerate().map(|(i, &row)| (row, i))
+    }
+
+    /// Binds the next spare (strictly increasing) to `row`.
+    ///
+    /// Capturing the same row twice deliberately allocates a *new* spare:
+    /// that is exactly the faulty-spare replacement path of the iterated
+    /// repair.
+    ///
+    /// # Errors
+    ///
+    /// [`TlbError`] when every spare is already assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not a regular row address.
+    pub fn capture(&mut self, row: usize) -> Result<usize, TlbError> {
+        assert!(row < self.regular_rows, "captured row out of range");
+        if self.entries.len() >= self.spares {
+            return Err(TlbError { spares: self.spares });
+        }
+        self.entries.push(row);
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Physical row of spare `i`.
+    pub fn spare_row(&self, i: usize) -> usize {
+        self.regular_rows + i
+    }
+
+    /// True when `row` currently diverts to a spare.
+    pub fn is_mapped(&self, row: usize) -> bool {
+        self.entries.contains(&row)
+    }
+}
+
+impl RowMap for Tlb {
+    /// The parallel CAM lookup: latest matching entry wins; unmatched
+    /// rows pass through unchanged.
+    fn map_row(&self, row: usize) -> usize {
+        match self.entries.iter().rposition(|&r| r == row) {
+            Some(i) => self.regular_rows + i,
+            None => row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tlb_is_identity() {
+        let tlb = Tlb::new(64, 4);
+        for row in 0..64 {
+            assert_eq!(tlb.map_row(row), row);
+        }
+        assert_eq!(tlb.free(), 4);
+    }
+
+    #[test]
+    fn capture_assigns_strictly_increasing_spares() {
+        let mut tlb = Tlb::new(64, 4);
+        let mut last = None;
+        for row in [10, 3, 50] {
+            let spare = tlb.capture(row).unwrap();
+            if let Some(prev) = last {
+                assert!(spare > prev, "spare sequence must strictly increase");
+            }
+            last = Some(spare);
+        }
+        assert_eq!(tlb.used(), 3);
+        assert_eq!(tlb.map_row(3), 65);
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        let mut tlb = Tlb::new(64, 2);
+        tlb.capture(1).unwrap();
+        tlb.capture(2).unwrap();
+        let err = tlb.capture(3).unwrap_err();
+        assert_eq!(err, TlbError { spares: 2 });
+        assert!(err.to_string().contains('2'));
+    }
+
+    #[test]
+    fn recapture_moves_row_forward() {
+        let mut tlb = Tlb::new(64, 4);
+        tlb.capture(7).unwrap();
+        assert_eq!(tlb.map_row(7), 64);
+        tlb.capture(7).unwrap();
+        assert_eq!(tlb.map_row(7), 65, "latest entry must win");
+        // The stale entry still occupies spare 0 (hardware does not
+        // reclaim), so capacity shrinks accordingly.
+        assert_eq!(tlb.free(), 2);
+        assert!(tlb.is_mapped(7));
+    }
+
+    #[test]
+    fn entries_report_capture_order() {
+        let mut tlb = Tlb::new(64, 4);
+        tlb.capture(9).unwrap();
+        tlb.capture(2).unwrap();
+        let log: Vec<_> = tlb.entries().collect();
+        assert_eq!(log, vec![(9, 0), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn capture_rejects_spare_region_addresses() {
+        let mut tlb = Tlb::new(64, 4);
+        let _ = tlb.capture(64);
+    }
+
+    proptest! {
+        #[test]
+        fn mapped_rows_land_in_spare_region(rows in proptest::collection::vec(0usize..100, 1..8)) {
+            let mut tlb = Tlb::new(100, 8);
+            for &r in &rows {
+                tlb.capture(r).unwrap();
+            }
+            for &r in &rows {
+                let m = tlb.map_row(r);
+                prop_assert!(m >= 100 && m < 108);
+            }
+            // Unmapped rows are untouched.
+            for r in 0..100 {
+                if !rows.contains(&r) {
+                    prop_assert_eq!(tlb.map_row(r), r);
+                }
+            }
+        }
+
+        #[test]
+        fn distinct_rows_get_distinct_spares(rows in proptest::collection::hash_set(0usize..100, 1..8)) {
+            let mut tlb = Tlb::new(100, 8);
+            for &r in &rows {
+                tlb.capture(r).unwrap();
+            }
+            let mapped: std::collections::HashSet<_> = rows.iter().map(|&r| tlb.map_row(r)).collect();
+            prop_assert_eq!(mapped.len(), rows.len());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Mask layers of a generic single-poly, triple-metal CMOS process.
+
+use bisram_geom::LayerId;
+
+/// A mask layer.
+///
+/// The layer set covers everything the leaf-cell generators draw: wells
+/// and selects, active (diffusion), polysilicon, the contact/via cuts, and
+/// three metal levels. Routing preference alternates by level: metal1 and
+/// metal3 run horizontally, metal2 vertically (the paper routes
+/// over-the-cell with third metal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// N-well (PMOS body).
+    Nwell,
+    /// Active area / diffusion.
+    Active,
+    /// P+ select implant.
+    Pselect,
+    /// N+ select implant.
+    Nselect,
+    /// Polysilicon (gates and short local wires).
+    Poly,
+    /// Contact cut (active/poly to metal1).
+    Contact,
+    /// Metal 1.
+    Metal1,
+    /// Via cut metal1–metal2.
+    Via1,
+    /// Metal 2.
+    Metal2,
+    /// Via cut metal2–metal3.
+    Via2,
+    /// Metal 3 (over-the-cell routing).
+    Metal3,
+}
+
+impl Layer {
+    /// All layers, in mask order.
+    pub const ALL: [Layer; 11] = [
+        Layer::Nwell,
+        Layer::Active,
+        Layer::Pselect,
+        Layer::Nselect,
+        Layer::Poly,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via1,
+        Layer::Metal2,
+        Layer::Via2,
+        Layer::Metal3,
+    ];
+
+    /// The numeric [`LayerId`] used by the geometry and layout crates.
+    pub const fn id(self) -> LayerId {
+        LayerId::new(self as u16)
+    }
+
+    /// Looks a layer up by its numeric id.
+    pub fn from_id(id: LayerId) -> Option<Layer> {
+        Layer::ALL.into_iter().find(|l| l.id() == id)
+    }
+
+    /// Short CIF-style mask name.
+    pub const fn mask_name(self) -> &'static str {
+        match self {
+            Layer::Nwell => "CWN",
+            Layer::Active => "CAA",
+            Layer::Pselect => "CSP",
+            Layer::Nselect => "CSN",
+            Layer::Poly => "CPG",
+            Layer::Contact => "CCC",
+            Layer::Metal1 => "CMF",
+            Layer::Via1 => "CV1",
+            Layer::Metal2 => "CMS",
+            Layer::Via2 => "CV2",
+            Layer::Metal3 => "CMT",
+        }
+    }
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Layer::Nwell => "nwell",
+            Layer::Active => "active",
+            Layer::Pselect => "pselect",
+            Layer::Nselect => "nselect",
+            Layer::Poly => "poly",
+            Layer::Contact => "contact",
+            Layer::Metal1 => "metal1",
+            Layer::Via1 => "via1",
+            Layer::Metal2 => "metal2",
+            Layer::Via2 => "via2",
+            Layer::Metal3 => "metal3",
+        }
+    }
+
+    /// True for the conducting interconnect layers (poly and metals).
+    pub const fn is_routing(self) -> bool {
+        matches!(
+            self,
+            Layer::Poly | Layer::Metal1 | Layer::Metal2 | Layer::Metal3
+        )
+    }
+
+    /// True for the cut layers (contact and vias).
+    pub const fn is_cut(self) -> bool {
+        matches!(self, Layer::Contact | Layer::Via1 | Layer::Via2)
+    }
+
+    /// Metal level (1..=3) for the metal layers, `None` otherwise.
+    pub const fn metal_level(self) -> Option<u8> {
+        match self {
+            Layer::Metal1 => Some(1),
+            Layer::Metal2 => Some(2),
+            Layer::Metal3 => Some(3),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_roundtrip() {
+        for (i, l) in Layer::ALL.into_iter().enumerate() {
+            assert_eq!(l.id().index() as usize, i);
+            assert_eq!(Layer::from_id(l.id()), Some(l));
+        }
+        assert_eq!(Layer::from_id(LayerId::new(200)), None);
+    }
+
+    #[test]
+    fn routing_and_cut_partition() {
+        for l in Layer::ALL {
+            assert!(
+                !(l.is_routing() && l.is_cut()),
+                "{l} cannot be both routing and cut"
+            );
+        }
+        assert!(Layer::Metal3.is_routing());
+        assert!(Layer::Via2.is_cut());
+        assert!(!Layer::Nwell.is_routing());
+    }
+
+    #[test]
+    fn metal_levels() {
+        assert_eq!(Layer::Metal1.metal_level(), Some(1));
+        assert_eq!(Layer::Metal3.metal_level(), Some(3));
+        assert_eq!(Layer::Poly.metal_level(), None);
+    }
+
+    #[test]
+    fn mask_names_unique() {
+        let mut names: Vec<_> = Layer::ALL.iter().map(|l| l.mask_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Layer::ALL.len());
+    }
+}

@@ -1,0 +1,212 @@
+//! Lambda-based design rules.
+//!
+//! BISRAMGEN achieves design-rule independence by expressing every leaf
+//! cell in scalable lambda rules (in the spirit of Mead–Conway) and
+//! multiplying by the process's lambda at generation time. The rule set
+//! here is the classic SCMOS-style set, which is representative of the
+//! 0.5–0.7 µm three-metal processes the paper targets.
+
+use crate::Layer;
+use bisram_geom::Coord;
+
+/// The design-rule set of a process, with all distances in DBU
+/// (nanometres).
+///
+/// Rules are derived from a per-process `lambda` and a table of lambda
+/// multipliers; [`DesignRules::scmos`] builds the standard set.
+///
+/// ```
+/// use bisram_tech::{DesignRules, Layer};
+/// let rules = DesignRules::scmos(250); // lambda = 250 nm (0.5 µm process)
+/// assert_eq!(rules.min_width(Layer::Poly), 500);   // 2 lambda
+/// assert_eq!(rules.min_space(Layer::Poly), 500);   // 2 lambda
+/// assert_eq!(rules.min_width(Layer::Metal3), 1250); // 5 lambda
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignRules {
+    lambda: Coord,
+    min_width: [Coord; Layer::ALL.len()],
+    min_space: [Coord; Layer::ALL.len()],
+    /// Poly extension past active to form a gate ("endcap").
+    gate_extension: Coord,
+    /// Active extension past poly (source/drain length).
+    sd_extension: Coord,
+    /// Enclosure of a contact/via cut by the surrounding conductors.
+    cut_enclosure: Coord,
+    /// Spacing between poly and unrelated active.
+    poly_active_space: Coord,
+    /// Nwell enclosure of p-active.
+    well_enclosure: Coord,
+    /// Select enclosure of active.
+    select_enclosure: Coord,
+}
+
+impl DesignRules {
+    /// Builds the standard scalable-CMOS rule set for a given lambda
+    /// (in nanometres).
+    ///
+    /// Multipliers (in lambda):
+    ///
+    /// | rule | value |
+    /// |------|-------|
+    /// | active width/space | 3 / 3 |
+    /// | poly width/space | 2 / 2 |
+    /// | contact & via size / space | 2 / 2 |
+    /// | metal1 width/space | 3 / 3 |
+    /// | metal2 width/space | 3 / 4 |
+    /// | metal3 width/space | 5 / 5 |
+    /// | gate extension | 2 |
+    /// | source/drain extension | 3 |
+    /// | cut enclosure | 1 |
+    /// | poly–active spacing | 1 |
+    /// | well enclosure of active | 6 |
+    /// | select enclosure of active | 2 |
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive.
+    pub fn scmos(lambda: Coord) -> Self {
+        assert!(lambda > 0, "lambda must be positive");
+        let mut min_width = [0; Layer::ALL.len()];
+        let mut min_space = [0; Layer::ALL.len()];
+        let mut set = |l: Layer, w: Coord, s: Coord| {
+            min_width[l as usize] = w * lambda;
+            min_space[l as usize] = s * lambda;
+        };
+        set(Layer::Nwell, 10, 9);
+        set(Layer::Active, 3, 3);
+        set(Layer::Pselect, 2, 2);
+        set(Layer::Nselect, 2, 2);
+        set(Layer::Poly, 2, 2);
+        set(Layer::Contact, 2, 2);
+        set(Layer::Metal1, 3, 3);
+        set(Layer::Via1, 2, 3);
+        set(Layer::Metal2, 3, 4);
+        set(Layer::Via2, 2, 3);
+        set(Layer::Metal3, 5, 5);
+        DesignRules {
+            lambda,
+            min_width,
+            min_space,
+            gate_extension: 2 * lambda,
+            sd_extension: 3 * lambda,
+            cut_enclosure: lambda,
+            poly_active_space: lambda,
+            well_enclosure: 6 * lambda,
+            select_enclosure: 2 * lambda,
+        }
+    }
+
+    /// The process lambda in DBU.
+    pub fn lambda(&self) -> Coord {
+        self.lambda
+    }
+
+    /// Shorthand: `n` lambda in DBU.
+    pub fn l(&self, n: Coord) -> Coord {
+        n * self.lambda
+    }
+
+    /// Minimum drawn width of a layer.
+    pub fn min_width(&self, layer: Layer) -> Coord {
+        self.min_width[layer as usize]
+    }
+
+    /// Minimum same-layer spacing.
+    pub fn min_space(&self, layer: Layer) -> Coord {
+        self.min_space[layer as usize]
+    }
+
+    /// Poly endcap past active.
+    pub fn gate_extension(&self) -> Coord {
+        self.gate_extension
+    }
+
+    /// Active extension past the gate on source/drain side.
+    pub fn sd_extension(&self) -> Coord {
+        self.sd_extension
+    }
+
+    /// Enclosure of a cut by its surrounding conductor.
+    pub fn cut_enclosure(&self) -> Coord {
+        self.cut_enclosure
+    }
+
+    /// Spacing between poly and unrelated active.
+    pub fn poly_active_space(&self) -> Coord {
+        self.poly_active_space
+    }
+
+    /// Nwell enclosure of p-type active.
+    pub fn well_enclosure(&self) -> Coord {
+        self.well_enclosure
+    }
+
+    /// Select enclosure of active.
+    pub fn select_enclosure(&self) -> Coord {
+        self.select_enclosure
+    }
+
+    /// The cut (contact or via) size — cuts are square.
+    pub fn cut_size(&self, cut: Layer) -> Coord {
+        debug_assert!(cut.is_cut());
+        self.min_width(cut)
+    }
+
+    /// Pitch of a routing layer: minimum width + spacing. The tiling
+    /// engines use this to compute track counts.
+    pub fn pitch(&self, layer: Layer) -> Coord {
+        self.min_width(layer) + self.min_space(layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scmos_rule_values() {
+        let r = DesignRules::scmos(350);
+        assert_eq!(r.lambda(), 350);
+        assert_eq!(r.min_width(Layer::Active), 1050);
+        assert_eq!(r.min_space(Layer::Metal2), 1400);
+        assert_eq!(r.gate_extension(), 700);
+        assert_eq!(r.cut_size(Layer::Contact), 700);
+        assert_eq!(r.pitch(Layer::Metal1), 2100);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_rejected() {
+        let _ = DesignRules::scmos(0);
+    }
+
+    #[test]
+    fn lambda_shorthand() {
+        let r = DesignRules::scmos(300);
+        assert_eq!(r.l(4), 1200);
+    }
+
+    proptest! {
+        #[test]
+        fn rules_scale_linearly(lambda in 1i64..2000) {
+            let base = DesignRules::scmos(1);
+            let scaled = DesignRules::scmos(lambda);
+            for layer in Layer::ALL {
+                prop_assert_eq!(scaled.min_width(layer), base.min_width(layer) * lambda);
+                prop_assert_eq!(scaled.min_space(layer), base.min_space(layer) * lambda);
+            }
+            prop_assert_eq!(scaled.well_enclosure(), base.well_enclosure() * lambda);
+        }
+
+        #[test]
+        fn all_rules_positive(lambda in 1i64..2000) {
+            let r = DesignRules::scmos(lambda);
+            for layer in Layer::ALL {
+                prop_assert!(r.min_width(layer) > 0);
+                prop_assert!(r.min_space(layer) > 0);
+            }
+        }
+    }
+}

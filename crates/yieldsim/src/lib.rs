@@ -1,0 +1,42 @@
+//! Yield, reliability and manufacturing-cost models for the BISRAMGEN
+//! reproduction.
+//!
+//! Paper §VII–§X quantify what built-in self-repair buys:
+//!
+//! * **Yield** (§VII, Fig. 4): Poisson cell yield, the Stapper
+//!   negative-binomial array yield, and the repairability probability `R`
+//!   — a defect pattern is repairable iff at most `s` rows are faulty and
+//!   the spares themselves are fault-free.
+//! * **Reliability** (§VIII, Fig. 5): the survival function `R(t)` of a
+//!   BISR'ed RAM under a constant per-bit failure rate, and its MTTF —
+//!   including the paper's observation that more spares *hurt* early-life
+//!   reliability and only pay off after several years.
+//! * **Cost** (§X, Tables II–III): the MPR manufacturing-cost model (die
+//!   cost from wafer cost / dies-per-wafer / yield, wafer-test and
+//!   assembly cost, packaging and final test), evaluated over a synthetic
+//!   microprocessor dataset calibrated to the figures quoted in the paper
+//!   (the original input table is proprietary Microprocessor Report
+//!   data — see DESIGN.md).
+//! * **Monte-Carlo cross-check**: random defect patterns injected into
+//!   the behavioural memory and pushed through the *actual* BIST + BISR
+//!   machinery, validating the analytic `R`.
+//!
+//! # Examples
+//!
+//! ```
+//! use bisram_yield::stapper;
+//!
+//! // 10 average defects with clustering alpha = 2.
+//! let y = stapper::stapper_yield(10.0, 2.0);
+//! assert!(y > 0.0 && y < 0.05);
+//! // The Poisson model is the alpha -> infinity limit.
+//! assert!(stapper::poisson_yield(10.0) < y);
+//! ```
+
+pub mod cost;
+pub mod montecarlo;
+pub mod mpr;
+pub mod optimize;
+pub mod reliability;
+pub mod repairability;
+pub mod stapper;

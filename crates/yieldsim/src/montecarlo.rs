@@ -1,0 +1,237 @@
+//! Monte-Carlo cross-check of the analytic yield model.
+//!
+//! Random defect patterns are drawn (Poisson, or negative-binomial for
+//! clustered defects), injected as stuck-at faults into the behavioural
+//! memory, and pushed through the *actual* two-pass BIST + BISR flow of
+//! `bisram-repair`. The fraction of usable memories is the empirical
+//! repairability, which must agree with
+//! [`crate::repairability::repair_probability`].
+
+use bisram_bist::engine::MarchConfig;
+use bisram_bist::march;
+use bisram_mem::{random_faults, ArrayOrg, FaultMix, SramModel};
+use bisram_repair::flow::{self, RepairSetup};
+use rand::Rng;
+
+/// Draws a Poisson random variate with the given mean (Knuth's method
+/// for small means, normal approximation above 64).
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    assert!(mean >= 0.0, "mean cannot be negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 64.0 {
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let z = box_muller(rng);
+        (mean + z * mean.sqrt()).round().max(0.0) as usize
+    }
+}
+
+/// Draws a negative-binomial variate with mean `mean` and clustering
+/// factor `alpha` (a Gamma(α, mean/α)–Poisson mixture — the defect model
+/// underlying the Stapper yield formula).
+pub fn negative_binomial_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64, alpha: f64) -> usize {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let lambda = gamma_sample(rng, alpha) * (mean / alpha);
+    poisson_sample(rng, lambda)
+}
+
+/// Standard-normal variate (Box–Muller).
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma(shape, 1) variate by Marsaglia–Tsang, with the boost trick for
+/// shape < 1.
+fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = box_muller(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Result of a Monte-Carlo yield experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloYield {
+    /// Trials run.
+    pub trials: usize,
+    /// Memories with no faults at all.
+    pub already_good: usize,
+    /// Memories repaired by BISR.
+    pub repaired: usize,
+    /// Memories that ended Repair Unsuccessful.
+    pub unrepairable: usize,
+}
+
+impl MonteCarloYield {
+    /// Usable fraction: fault-free plus repaired.
+    pub fn usable_fraction(&self) -> f64 {
+        (self.already_good + self.repaired) as f64 / self.trials as f64
+    }
+
+    /// Fraction usable *without* BISR (fault-free only) — the empirical
+    /// curve (a) of Fig. 4.
+    pub fn good_fraction(&self) -> f64 {
+        self.already_good as f64 / self.trials as f64
+    }
+}
+
+/// Runs `trials` random defect patterns with `mean_defects` average
+/// stuck-at faults through the full self-test-and-repair flow.
+///
+/// `clustering` of `Some(alpha)` draws defect counts from the
+/// negative-binomial (clustered) model instead of Poisson.
+///
+/// MATS+ with a single background is used — it detects every stuck-at
+/// fault, keeping the cross-check fast while remaining end-to-end (real
+/// march, real TLB, real two-pass flow).
+pub fn simulate_yield<R: Rng + ?Sized>(
+    rng: &mut R,
+    org: ArrayOrg,
+    mean_defects: f64,
+    trials: usize,
+    clustering: Option<f64>,
+) -> MonteCarloYield {
+    let setup = RepairSetup {
+        test: march::mats_plus(),
+        march: MarchConfig::default(),
+        max_passes: 2,
+    };
+    let quick = MarchConfig {
+        schedule: bisram_bist::engine::BackgroundSchedule::Single,
+        ..MarchConfig::default()
+    };
+    let setup = RepairSetup {
+        march: quick,
+        ..setup
+    };
+
+    let mut result = MonteCarloYield {
+        trials,
+        already_good: 0,
+        repaired: 0,
+        unrepairable: 0,
+    };
+    for _ in 0..trials {
+        let n = match clustering {
+            Some(alpha) => negative_binomial_sample(rng, mean_defects, alpha),
+            None => poisson_sample(rng, mean_defects),
+        }
+        .min(org.total_cells());
+        let mut ram = SramModel::new(org);
+        ram.inject_all(random_faults(rng, &org, n, &FaultMix::stuck_at_only()));
+        let report = flow::self_test_and_repair(&mut ram, &setup);
+        match report.outcome {
+            flow::RepairOutcome::AlreadyGood => result.already_good += 1,
+            flow::RepairOutcome::Repaired { .. } => result.repaired += 1,
+            flow::RepairOutcome::Unsuccessful { .. } => result.unrepairable += 1,
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repairability::repair_probability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_sample_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for mean in [0.5, 5.0, 120.0] {
+            let n = 4000;
+            let samples: Vec<usize> = (0..n).map(|_| poisson_sample(&mut rng, mean)).collect();
+            let m = samples.iter().sum::<usize>() as f64 / n as f64;
+            assert!((m / mean - 1.0).abs() < 0.1, "mean {mean}: got {m}");
+        }
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn negative_binomial_is_overdispersed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 4000;
+        let mean = 10.0;
+        let nb: Vec<f64> = (0..n)
+            .map(|_| negative_binomial_sample(&mut rng, mean, 1.0) as f64)
+            .collect();
+        let m = nb.iter().sum::<f64>() / n as f64;
+        let var = nb.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m / mean - 1.0).abs() < 0.15, "mean came out {m}");
+        // NB variance = mean + mean^2/alpha = 10 + 100 >> 10.
+        assert!(var > 3.0 * m, "variance {var} should exceed Poisson's {m}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_repairability() {
+        let org = ArrayOrg::new(256, 8, 4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = 3.0;
+        let mc = simulate_yield(&mut rng, org, mean, 300, None);
+        let analytic = repair_probability(&org, mean);
+        let empirical = mc.usable_fraction();
+        assert!(
+            (empirical - analytic).abs() < 0.08,
+            "empirical {empirical:.3} vs analytic {analytic:.3}"
+        );
+        // Sanity: some memories needed repair, some were clean.
+        assert!(mc.repaired > 0);
+        assert!(mc.already_good > 0);
+    }
+
+    #[test]
+    fn bisr_beats_no_bisr_in_monte_carlo() {
+        let org = ArrayOrg::new(256, 8, 4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mc = simulate_yield(&mut rng, org, 2.0, 300, None);
+        assert!(
+            mc.usable_fraction() > mc.good_fraction() + 0.1,
+            "repair must add usable parts: {} vs {}",
+            mc.usable_fraction(),
+            mc.good_fraction()
+        );
+    }
+
+    #[test]
+    fn clustered_defects_leave_more_dies_clean() {
+        let org = ArrayOrg::new(256, 8, 4, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let poisson = simulate_yield(&mut rng, org, 4.0, 400, None);
+        let mut rng = StdRng::seed_from_u64(5);
+        let clustered = simulate_yield(&mut rng, org, 4.0, 400, Some(0.5));
+        assert!(
+            clustered.good_fraction() > poisson.good_fraction(),
+            "clustering concentrates defects: {} vs {}",
+            clustered.good_fraction(),
+            poisson.good_fraction()
+        );
+    }
+}

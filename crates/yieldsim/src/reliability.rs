@@ -1,0 +1,168 @@
+//! Reliability (survivability) of BISR'ed RAMs — paper §VIII and Fig. 5.
+//!
+//! Repair granularity is the *row*: the RAM survives until time `t` iff
+//! at most `s` regular rows have failed by `t` and the `s` spare rows are
+//! themselves fault-free. With a constant per-bit failure rate `λ`, a
+//! row of `bpc·bpw` bits is faulty at time `t` with probability
+//! `F(t) = 1 − e^{−λ·bpc·bpw·t}`, giving
+//!
+//! `R(t) = [Σ_{i≤s} C(rows,i)·F^i·(1−F)^{rows−i}] · (1−F)^s`.
+//!
+//! The striking consequence the paper plots in Fig. 5: early in life more
+//! spares *reduce* reliability (the `(1−F)^s` factor — more cells must
+//! stay fault-free), and only after several years does the added
+//! tolerance win. For the Fig. 5 parameters the 4-spare and 8-spare
+//! curves cross at roughly 8 years (≈ 70 000 h), which this module's
+//! tests verify.
+
+use crate::repairability::binomial_cdf;
+use bisram_mem::ArrayOrg;
+
+/// Reliability parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityModel {
+    /// Array organization.
+    pub org: ArrayOrg,
+    /// Per-bit failure rate, in failures per hour (the paper's Fig. 5
+    /// uses 1e-6 per kilo-hour = 1e-9 per hour).
+    pub lambda_per_hour: f64,
+}
+
+impl ReliabilityModel {
+    /// The Fig. 5 configuration: 1024 regular rows, `bpc = bpw = 4`,
+    /// defect rate 1e-6 per kilo-hour per cell.
+    pub fn fig5(spares: usize) -> Self {
+        ReliabilityModel {
+            org: ArrayOrg::new(4096, 4, 4, spares).expect("fig5 geometry is valid"),
+            lambda_per_hour: 1e-9,
+        }
+    }
+
+    /// Probability a single row (of `bpc·bpw` bits) is faulty at
+    /// `t_hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for negative time.
+    pub fn row_fault_probability(&self, t_hours: f64) -> f64 {
+        assert!(t_hours >= 0.0, "time cannot be negative");
+        1.0 - (-self.lambda_per_hour * self.org.columns() as f64 * t_hours).exp()
+    }
+
+    /// The survival function `R(t)`.
+    pub fn reliability(&self, t_hours: f64) -> f64 {
+        let f = self.row_fault_probability(t_hours);
+        let tolerate = binomial_cdf(self.org.rows(), f, self.org.spare_rows());
+        let spares_ok = (1.0 - f).powi(self.org.spare_rows() as i32);
+        tolerate * spares_ok
+    }
+
+    /// Mean time to failure, by numeric integration of `R(t)` over a
+    /// uniform grid scaled to the row failure time constant
+    /// (`MTTF = ∫₀^∞ R dt`).
+    pub fn mttf_hours(&self) -> f64 {
+        let tau_row = 1.0 / (self.lambda_per_hour * self.org.columns() as f64);
+        // R(t) decays on the scale of tau_row / rows, stretched by the
+        // spare tolerance.
+        let t_max = 50.0 * tau_row / self.org.rows() as f64
+            * (1.0 + self.org.spare_rows() as f64);
+        let steps = 20_000;
+        let dt = t_max / steps as f64;
+        let mut acc = 0.0;
+        let mut prev = self.reliability(0.0);
+        for i in 1..=steps {
+            let r = self.reliability(i as f64 * dt);
+            acc += 0.5 * (prev + r) * dt;
+            prev = r;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_starts_at_one_and_decays() {
+        let m = ReliabilityModel::fig5(4);
+        assert!((m.reliability(0.0) - 1.0).abs() < 1e-12);
+        let r1 = m.reliability(10_000.0);
+        let r2 = m.reliability(100_000.0);
+        assert!(r1 > r2);
+        assert!((0.0..=1.0).contains(&r1));
+    }
+
+    #[test]
+    fn row_fault_probability_limits() {
+        let m = ReliabilityModel::fig5(0);
+        assert_eq!(m.row_fault_probability(0.0), 0.0);
+        assert!(m.row_fault_probability(1e12) > 0.999);
+    }
+
+    #[test]
+    fn zero_spare_mttf_matches_closed_form() {
+        // With no spares, R(t) = (1-F)^rows = e^{-λ·bits_total·t}, so
+        // MTTF = 1 / (λ · total bits).
+        let m = ReliabilityModel::fig5(0);
+        let analytic = 1.0 / (m.lambda_per_hour * m.org.cells() as f64);
+        let numeric = m.mttf_hours();
+        assert!(
+            (numeric / analytic - 1.0).abs() < 0.02,
+            "numeric {numeric:.1} vs analytic {analytic:.1}"
+        );
+    }
+
+    #[test]
+    fn fig5_crossover_between_four_and_eight_spares() {
+        // Paper: "the reliability with four spare rows is greater than
+        // that with eight spare rows until the age of the device becomes
+        // about 8 years (i.e., 70 000 h after manufacture)".
+        let m4 = ReliabilityModel::fig5(4);
+        let m8 = ReliabilityModel::fig5(8);
+        // Early life: fewer spares win.
+        let early = 10_000.0;
+        assert!(
+            m4.reliability(early) > m8.reliability(early),
+            "4 spares should lead early"
+        );
+        // Find the crossover.
+        let mut crossover = None;
+        let mut t = 1_000.0;
+        while t < 1.0e6 {
+            if m8.reliability(t) > m4.reliability(t) {
+                crossover = Some(t);
+                break;
+            }
+            t += 1_000.0;
+        }
+        let t_cross = crossover.expect("curves must cross");
+        assert!(
+            (35_000.0..140_000.0).contains(&t_cross),
+            "crossover at {t_cross} h is far from the paper's ~70 000 h"
+        );
+    }
+
+    #[test]
+    fn more_spares_win_in_the_long_run() {
+        let late = 300_000.0;
+        let r4 = ReliabilityModel::fig5(4).reliability(late);
+        let r16 = ReliabilityModel::fig5(16).reliability(late);
+        assert!(r16 > r4);
+    }
+
+    #[test]
+    fn mttf_increases_with_spares() {
+        let m0 = ReliabilityModel::fig5(0).mttf_hours();
+        let m4 = ReliabilityModel::fig5(4).mttf_hours();
+        let m16 = ReliabilityModel::fig5(16).mttf_hours();
+        assert!(m4 > m0);
+        assert!(m16 > m4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_time_rejected() {
+        ReliabilityModel::fig5(4).reliability(-1.0);
+    }
+}

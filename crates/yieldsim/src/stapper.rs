@@ -1,0 +1,98 @@
+//! Poisson and Stapper (negative-binomial) yield models.
+//!
+//! Paper §VII: "Suppose we use the Poisson model of a single cell yield,
+//! `Y_cell = e^{-λ}` ... Let us also assume the well-known yield formula
+//! due to Stapper to calculate the original yield of the memory array
+//! without built-in self-repair: `Y = (1 + d·A/α)^{-α}`, where `d` is the
+//! defect density, `A` is the area of the RAM array, and `α` is some
+//! clustering factor of the defects."
+
+/// Poisson yield for an average of `defects` faults: `e^{-n}`.
+///
+/// ```
+/// use bisram_yield::stapper::poisson_yield;
+/// assert!((poisson_yield(0.0) - 1.0).abs() < 1e-12);
+/// assert!((poisson_yield(1.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// ```
+pub fn poisson_yield(defects: f64) -> f64 {
+    assert!(defects >= 0.0, "defect count cannot be negative");
+    (-defects).exp()
+}
+
+/// Stapper negative-binomial yield: `(1 + n/α)^{-α}` for `n = d·A`
+/// average defects with clustering factor `α`.
+///
+/// Small `α` means strongly clustered defects (higher yield at the same
+/// average defect count, because defects pile onto few dies); as
+/// `α → ∞` the model converges to [`poisson_yield`].
+///
+/// # Panics
+///
+/// Panics for negative `defects` or non-positive `alpha`.
+pub fn stapper_yield(defects: f64, alpha: f64) -> f64 {
+    assert!(defects >= 0.0, "defect count cannot be negative");
+    assert!(alpha > 0.0, "clustering factor must be positive");
+    (1.0 + defects / alpha).powf(-alpha)
+}
+
+/// Single-cell Poisson yield `e^{-λ}` for an average of `lambda` faults
+/// per cell.
+pub fn cell_yield(lambda: f64) -> f64 {
+    poisson_yield(lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_defects_is_certain_yield() {
+        assert_eq!(poisson_yield(0.0), 1.0);
+        assert_eq!(stapper_yield(0.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn stapper_converges_to_poisson_for_large_alpha() {
+        for n in [0.5, 2.0, 10.0] {
+            let s = stapper_yield(n, 1e7);
+            let p = poisson_yield(n);
+            assert!((s - p).abs() / p < 1e-4, "n={n}: {s} vs {p}");
+        }
+    }
+
+    #[test]
+    fn clustering_raises_yield() {
+        // More clustering (smaller alpha) concentrates defects, raising
+        // the fraction of defect-free dies.
+        let n = 5.0;
+        assert!(stapper_yield(n, 0.5) > stapper_yield(n, 2.0));
+        assert!(stapper_yield(n, 2.0) > poisson_yield(n));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_defects_rejected() {
+        poisson_yield(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_alpha_rejected() {
+        stapper_yield(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn yield_is_a_probability(n in 0.0f64..1e4, alpha in 0.01f64..100.0) {
+            let y = stapper_yield(n, alpha);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn yield_decreases_with_defects(n in 0.0f64..100.0, alpha in 0.1f64..10.0) {
+            prop_assert!(stapper_yield(n + 1.0, alpha) < stapper_yield(n, alpha));
+            prop_assert!(poisson_yield(n + 1.0) < poisson_yield(n));
+        }
+    }
+}
