@@ -6,15 +6,15 @@
 //! the claimed quantity: total over-the-cell route length for port
 //! alignment, bounding-box aspect ratio for the squareness term.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_geom::{Port, Rect, Side};
 use bisram_layout::placer::{place_with_options, Macro, PlacerOptions};
 use bisram_layout::route;
 use bisram_layout::Cell;
 use bisram_tech::{Layer, Process};
-use criterion::Criterion;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bisram_bench::harness::Harness;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// A synthetic macro set shaped like the compiler's: one big block,
@@ -137,7 +137,7 @@ fn print_experiment() {
 
 fn main() {
     print_experiment();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("ablation_placement_run", |b| {
         let opts = PlacerOptions {
             margin: 100,

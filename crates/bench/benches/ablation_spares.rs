@@ -11,12 +11,12 @@
 //! around four spares, beyond which the extra rows buy little yield but
 //! keep growing the TLB delay and the early-life reliability penalty.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_circuit::campath;
 use bisram_tech::Process;
 use bisram_yield::optimize::optimize_spares;
 use bisram_yield::reliability::ReliabilityModel;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_experiment() {
     banner(
@@ -56,9 +56,9 @@ fn print_experiment() {
 
 fn main() {
     print_experiment();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("ablation_spare_sweep", |b| {
-        b.iter(|| optimize_spares(4096, 4, 4, criterion::black_box(2.0), 0.05, 16))
+        b.iter(|| optimize_spares(4096, 4, 4, bisram_bench::harness::black_box(2.0), 0.05, 16))
     });
     crit.final_summary();
 }

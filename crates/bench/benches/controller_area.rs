@@ -5,11 +5,11 @@
 //! controller area is found to be a very tiny fraction of the memory
 //! array area (less than 0.1%) for a 16-kbyte RAM."
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_bist::march;
 use bisram_bist::trpla;
 use bisramgen::{compile, RamParams};
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_experiment() {
     banner("§V/§VI", "TRPLA controller: state count, encoding, PLA size, area fraction");
@@ -63,7 +63,7 @@ fn print_experiment() {
 
 fn main() {
     print_experiment();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("controller_assemble_ifa9", |b| {
         b.iter(|| trpla::assemble(&march::ifa9()))
     });

@@ -10,13 +10,13 @@
 //! The reproduction measures per-class coverage for the test library
 //! under both the Johnson schedule and the single-background baseline.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_bist::coverage;
 use bisram_bist::march;
 use bisram_mem::ArrayOrg;
-use criterion::Criterion;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_bench::harness::Harness;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 const PER_CLASS: usize = 30;
 
@@ -80,7 +80,7 @@ fn print_experiment() {
 
 fn main() {
     print_experiment();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("coverage_ifa9_single_fault", |b| {
         use bisram_bist::engine::{run_march, MarchConfig};
         use bisram_mem::{Fault, FaultKind, SramModel};

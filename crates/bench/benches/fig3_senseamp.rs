@@ -7,9 +7,9 @@
 //! the smaller the differential the longer the decision, but even a few
 //! µA resolve within a nanosecond-scale window.
 
-use bisram_bench::{banner, latch_time, quick_criterion, senseamp_transient};
+use bisram_bench::{banner, latch_time, quick_harness, senseamp_transient};
 use bisram_tech::Process;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_figure() {
     banner(
@@ -46,7 +46,7 @@ fn print_figure() {
 
 fn main() {
     print_figure();
-    let mut c: Criterion = quick_criterion();
+    let mut c: Harness = quick_harness();
     let process = Process::cda07();
     c.bench_function("fig3_senseamp_transient", |b| {
         b.iter(|| {

@@ -7,13 +7,13 @@
 //! series is cross-checked against Monte-Carlo fault injection through
 //! the actual two-pass BIST + BISR flow.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_mem::ArrayOrg;
 use bisram_yield::montecarlo;
 use bisram_yield::repairability::YieldModel;
-use criterion::Criterion;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_bench::harness::Harness;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 fn fig4_org(spares: usize) -> ArrayOrg {
     ArrayOrg::new(4096, 4, 4, spares).expect("fig4 geometry is valid")
@@ -63,9 +63,9 @@ fn print_figure() {
 
 fn main() {
     print_figure();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("fig4_yield_curve_point", |b| {
-        b.iter(|| model(16).yield_with_bisr(criterion::black_box(24.0)))
+        b.iter(|| model(16).yield_with_bisr(bisram_bench::harness::black_box(24.0)))
     });
     crit.bench_function("fig4_monte_carlo_trial", |b| {
         let mut rng = StdRng::seed_from_u64(9);

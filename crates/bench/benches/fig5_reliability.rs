@@ -6,9 +6,9 @@
 //! spares themselves must stay fault-free) and only win later; the
 //! 4-spare and 8-spare curves cross around 8 years (~70 000 h).
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_yield::reliability::ReliabilityModel;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_figure() {
     banner(
@@ -62,10 +62,10 @@ fn print_figure() {
 
 fn main() {
     print_figure();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("fig5_reliability_point", |b| {
         let m = ReliabilityModel::fig5(8);
-        b.iter(|| m.reliability(criterion::black_box(70_000.0)))
+        b.iter(|| m.reliability(bisram_bench::harness::black_box(70_000.0)))
     });
     crit.bench_function("fig5_mttf_integration", |b| {
         let m = ReliabilityModel::fig5(4);

@@ -7,10 +7,10 @@
 //! The reproduction compiles both, reports dimensions / area /
 //! utilization, and writes floorplan SVGs next to the Criterion output.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisramgen::{compile, RamParams};
 use bisram_tech::Process;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn build(words: usize, bpw: usize, bpc: usize) -> bisramgen::CompiledRam {
     let params = RamParams::builder()
@@ -63,7 +63,7 @@ fn print_figure() {
 
 fn main() {
     print_figure();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("fig6_compile_64kB", |b| b.iter(|| build(4096, 128, 8)));
     crit.final_summary();
 }

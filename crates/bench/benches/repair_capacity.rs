@@ -17,17 +17,17 @@
 //!   granularity cost the paper accepts in exchange for the untouched
 //!   access path.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_bist::engine::MarchConfig;
 use bisram_bist::march;
 use bisram_mem::{random_faults, row_failure, ArrayOrg, FaultMix, SramModel};
 use bisram_repair::chen_sunada::{self, ChenSunadaConfig};
 use bisram_repair::flow::{self, RepairSetup};
 use bisram_repair::sawada;
-use criterion::Criterion;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use bisram_bench::harness::Harness;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::Rng;
+use bisram_rng::SeedableRng;
 
 const TRIALS: usize = 40;
 
@@ -144,7 +144,7 @@ fn print_experiment() {
 
 fn main() {
     print_experiment();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     crit.bench_function("repair_flow_row_failure", |b| {
         let o = org();
         b.iter(|| {

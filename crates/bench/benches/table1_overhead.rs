@@ -6,10 +6,10 @@
 //! grows, with the four redundant rows themselves contributing well
 //! under 1%.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisramgen::overhead_row;
 use bisram_tech::Process;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 /// The geometry sweep of the reproduced table (words, bpw, bpc).
 const GEOMETRIES: &[(usize, usize, usize)] = &[
@@ -52,7 +52,7 @@ fn print_table() {
 
 fn main() {
     print_table();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     let process = Process::cda07();
     crit.bench_function("table1_overhead_row_64kb", |b| {
         b.iter(|| overhead_row(&process, 2048, 32, 4, 4).unwrap())

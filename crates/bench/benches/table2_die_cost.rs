@@ -9,10 +9,10 @@
 //! The microprocessor dataset is synthetic but calibrated (the original
 //! is proprietary MPR data) — see DESIGN.md.
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_yield::cost::{self, CostModel};
 use bisram_yield::mpr;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_table() {
     banner(
@@ -57,7 +57,7 @@ fn print_table() {
 
 fn main() {
     print_table();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     let model = CostModel::default();
     let sparc = mpr::by_name("SuperSPARC").expect("dataset entry");
     crit.bench_function("table2_cost_evaluation", |b| {

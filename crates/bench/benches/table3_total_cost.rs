@@ -5,10 +5,10 @@
 //! case of Intel486DX2) to as much as 47.2% (in case of TI SuperSPARC),
 //! if the caches are made built-in self-repairable."
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_yield::cost::{self, CostModel};
 use bisram_yield::mpr;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_table() {
     banner(
@@ -74,7 +74,7 @@ fn print_table() {
 
 fn main() {
     print_table();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     let model = CostModel::default();
     crit.bench_function("table3_full_dataset", |b| {
         b.iter(|| {

@@ -6,11 +6,11 @@
 //! rely on the fact that the TLB operation is extremely fast. This will
 //! happen provided 1–4 spare rows are used."
 
-use bisram_bench::{banner, quick_criterion};
+use bisram_bench::{banner, quick_harness};
 use bisram_circuit::campath;
 use bisramgen::{Datasheet, RamParams};
 use bisram_tech::Process;
-use criterion::Criterion;
+use bisram_bench::harness::Harness;
 
 fn print_experiment() {
     banner("§VI", "TLB compare-and-map delay vs spare count (0.7 um process)");
@@ -63,10 +63,10 @@ fn print_experiment() {
 
 fn main() {
     print_experiment();
-    let mut crit: Criterion = quick_criterion();
+    let mut crit: Harness = quick_harness();
     let process = Process::cda07();
     crit.bench_function("tlb_delay_evaluation", |b| {
-        b.iter(|| campath::tlb_delay(&process, criterion::black_box(10), 4))
+        b.iter(|| campath::tlb_delay(&process, bisram_bench::harness::black_box(10), 4))
     });
     crit.final_summary();
 }

@@ -3,11 +3,14 @@
 //! Each bench target (`cargo bench -p bisram-bench --bench <id>`) first
 //! prints the reproduced table or figure series — paper values alongside
 //! measured values where the paper states them — and then runs a small
-//! Criterion timing group over the underlying computation.
+//! timing group over the underlying computation using the internal
+//! [`harness`] (a hermetic replacement for the external criterion crate).
+
+pub mod harness;
 
 use bisram_circuit::{MosType, Netlist, TranResult, TransientSim};
 use bisram_tech::Process;
-use criterion::Criterion;
+use harness::Harness;
 
 /// Prints the standard banner over a reproduction.
 pub fn banner(id: &str, caption: &str) {
@@ -16,9 +19,9 @@ pub fn banner(id: &str, caption: &str) {
     println!("==========================================================");
 }
 
-/// A Criterion instance tuned for quick regeneration runs.
-pub fn quick_criterion() -> Criterion {
-    Criterion::default()
+/// A harness tuned for quick regeneration runs.
+pub fn quick_harness() -> Harness {
+    Harness::new()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_millis(800))
         .warm_up_time(std::time::Duration::from_millis(200))

@@ -101,7 +101,8 @@ impl std::fmt::Display for UpDownCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn counts_up_through_full_range() {
@@ -143,13 +144,19 @@ mod tests {
         UpDownCounter::new(0);
     }
 
-    proptest! {
-        #[test]
-        fn matches_arithmetic(width in 1u32..16, steps in proptest::collection::vec(any::<bool>(), 0..200)) {
+    // Deterministic seeded sweeps against the arithmetic reference model.
+
+    #[test]
+    fn matches_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(0xADD_0001);
+        for case in 0..256 {
+            let width = rng.gen_range(1u32..16);
             let mut c = UpDownCounter::new(width);
             let modulus = 1u64 << width;
             let mut reference: u64 = 0;
-            for up in steps {
+            let steps = rng.gen_range(0usize..200);
+            for step in 0..steps {
+                let up: bool = rng.gen();
                 if up {
                     c.step_up();
                     reference = (reference + 1) % modulus;
@@ -157,16 +164,29 @@ mod tests {
                     c.step_down();
                     reference = (reference + modulus - 1) % modulus;
                 }
-                prop_assert_eq!(c.value(), reference);
+                assert_eq!(
+                    c.value(),
+                    reference,
+                    "case {case}: width={width} step={step} up={up}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn up_then_down_is_identity(width in 1u32..16, n in 0u64..100) {
+    #[test]
+    fn up_then_down_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0xADD_0002);
+        for case in 0..256 {
+            let width = rng.gen_range(1u32..16);
+            let n = rng.gen_range(0u64..100);
             let mut c = UpDownCounter::new(width);
-            for _ in 0..n { c.step_up(); }
-            for _ in 0..n { c.step_down(); }
-            prop_assert!(c.at_zero());
+            for _ in 0..n {
+                c.step_up();
+            }
+            for _ in 0..n {
+                c.step_down();
+            }
+            assert!(c.at_zero(), "case {case}: width={width} n={n}");
         }
     }
 }

@@ -10,7 +10,7 @@
 use crate::engine::{run_march, BackgroundSchedule, MarchConfig};
 use crate::march::MarchTest;
 use bisram_mem::{ArrayOrg, Fault, FaultKind, SramModel};
-use rand::Rng;
+use bisram_rng::Rng;
 
 /// Coverage of one fault class under one test.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,35 +198,50 @@ fn coupling_pair<R: Rng + ?Sized>(
     org: &ArrayOrg,
     intra_word: bool,
 ) -> (usize, usize) {
-    if intra_word {
+    let regular = org.rows() * org.bpc() * org.bpw();
+    assert!(regular > 1, "coupling faults need at least two regular cells");
+    if intra_word && org.bpw() > 1 {
         let row = rng.gen_range(0..org.rows());
         let col = rng.gen_range(0..org.bpc());
         let vbit = rng.gen_range(0..org.bpw());
-        let abit = loop {
-            let b = rng.gen_range(0..org.bpw());
-            if b != vbit {
-                break b;
-            }
-        };
+        // Distinct bit by offset, not rejection: a 1-bit word would spin
+        // the old `b != vbit` loop forever, and even bpw == 2 wastes
+        // draws.
+        let abit = (vbit + rng.gen_range(1..org.bpw())) % org.bpw();
         (org.cell_at(row, col, vbit), org.cell_at(row, col, abit))
+    } else if intra_word && org.bpc() > 1 {
+        // One-bit words have no intra-word mate; fall back to a
+        // cross-column aggressor in the same physical row — the nearest
+        // layout neighbour a real defect would bridge to.
+        let row = rng.gen_range(0..org.rows());
+        let vcol = rng.gen_range(0..org.bpc());
+        let acol = (vcol + rng.gen_range(1..org.bpc())) % org.bpc();
+        (org.cell_at(row, vcol, 0), org.cell_at(row, acol, 0))
     } else {
-        let victim = random_regular_cell(rng, org);
-        let aggressor = loop {
-            let a = random_regular_cell(rng, org);
-            if a != victim {
-                break a;
-            }
-        };
-        (victim, aggressor)
+        // Inter-word (or a degenerate single-column organisation): two
+        // distinct regular cells by ordinal offset, which terminates for
+        // every array with at least two cells.
+        let victim = rng.gen_range(0..regular);
+        let aggressor = (victim + rng.gen_range(1..regular)) % regular;
+        (regular_cell_at(org, victim), regular_cell_at(org, aggressor))
     }
+}
+
+/// Maps an ordinal in `0..rows*bpc*bpw` to the cell index of a regular
+/// (non-spare) cell.
+fn regular_cell_at(org: &ArrayOrg, ord: usize) -> usize {
+    let bit = ord % org.bpw();
+    let col = (ord / org.bpw()) % org.bpc();
+    let row = ord / (org.bpw() * org.bpc());
+    org.cell_at(row, col, bit)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::march;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::SeedableRng;
 
     fn org() -> ArrayOrg {
         ArrayOrg::new(128, 8, 4, 0).unwrap()
@@ -291,6 +306,47 @@ mod tests {
         let report = measure(&mut rng, org(), &march::mats_plus(), true, 20, false);
         assert_eq!(report.class("DRF").unwrap().fraction(), 0.0);
         assert_eq!(report.class("SAF").unwrap().fraction(), 1.0);
+    }
+
+    #[test]
+    fn coupling_pair_terminates_for_one_bit_words() {
+        // Regression: bpw == 1 sent the intra-word aggressor loop into
+        // `b != vbit` with a single candidate — it could never exit. The
+        // fallback must produce a distinct cross-column aggressor.
+        let org = ArrayOrg::new(64, 1, 4, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        for case in 0..200 {
+            let (v, a) = coupling_pair(&mut rng, &org, true);
+            assert_ne!(v, a, "case {case}: victim {v} == aggressor {a}");
+            assert_eq!(
+                org.cell_coords(v).0,
+                org.cell_coords(a).0,
+                "case {case}: cross-column fallback must stay in the victim row"
+            );
+        }
+    }
+
+    #[test]
+    fn coupling_pair_terminates_for_single_column_arrays() {
+        // bpw == 1 and bpc == 1: the only distinct aggressor lives in
+        // another row; the inter-word path must find it without spinning.
+        let org = ArrayOrg::new(16, 1, 1, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        for case in 0..200 {
+            for intra in [false, true] {
+                let (v, a) = coupling_pair(&mut rng, &org, intra);
+                assert_ne!(v, a, "case {case} intra={intra}");
+                assert!(v < org.total_cells() && a < org.total_cells());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two regular cells")]
+    fn coupling_pair_rejects_one_cell_arrays() {
+        let org = ArrayOrg::new(1, 1, 1, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = coupling_pair(&mut rng, &org, false);
     }
 
     #[test]

@@ -399,90 +399,103 @@ mod proptests {
     use super::*;
     use crate::march::{AddrOrder, MarchElement, MarchOp, MarchTest};
     use bisram_mem::{ArrayOrg, Fault, FaultKind, SramModel};
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::seq::SliceRandom;
+    use bisram_rng::{Rng, SeedableRng};
 
-    fn arb_op() -> impl Strategy<Value = MarchOp> {
-        prop::sample::select(vec![MarchOp::R0, MarchOp::R1, MarchOp::W0, MarchOp::W1])
+    const CASES: usize = 48;
+
+    fn arb_op(rng: &mut StdRng) -> MarchOp {
+        *[MarchOp::R0, MarchOp::R1, MarchOp::W0, MarchOp::W1]
+            .choose(rng)
+            .expect("non-empty")
     }
 
-    fn arb_element() -> impl Strategy<Value = MarchElement> {
-        (
-            prop::sample::select(vec![AddrOrder::Up, AddrOrder::Down, AddrOrder::Either]),
-            proptest::collection::vec(arb_op(), 1..5),
-        )
-            .prop_map(|(order, ops)| MarchElement::Sweep { order, ops })
+    fn arb_order(rng: &mut StdRng) -> AddrOrder {
+        *[AddrOrder::Up, AddrOrder::Down, AddrOrder::Either]
+            .choose(rng)
+            .expect("non-empty")
+    }
+
+    fn arb_element(rng: &mut StdRng) -> MarchElement {
+        let order = arb_order(rng);
+        let ops = (0..rng.gen_range(1..5usize)).map(|_| arb_op(rng)).collect();
+        MarchElement::Sweep { order, ops }
     }
 
     /// Random *well-formed* march: starts with an initializing write
     /// element and every element's first read matches the data state the
     /// previous element leaves behind. Simplification: we force each
     /// element to begin with a write, which makes any op sequence
-    /// self-consistent for a fault-free memory.
-    fn arb_march() -> impl Strategy<Value = MarchTest> {
-        proptest::collection::vec(
-            (
-                prop::sample::select(vec![AddrOrder::Up, AddrOrder::Down, AddrOrder::Either]),
-                prop::sample::select(vec![MarchOp::W0, MarchOp::W1]),
-                proptest::collection::vec(arb_op(), 0..4),
-            ),
-            1..6,
-        )
-        .prop_map(|specs| {
-            // Track the stored state ("0" = background, "1" = inverse)
-            // and rewrite reads to expect it, producing a march that is
-            // clean by construction on a fault-free memory.
-            let mut elements = Vec::new();
-            for (order, first_write, tail) in specs {
-                let mut state = !matches!(first_write, MarchOp::W0);
-                let mut ops = vec![first_write];
-                for op in tail {
-                    let fixed = match op {
-                        MarchOp::W0 => {
-                            state = false;
-                            MarchOp::W0
+    /// self-consistent for a fault-free memory. The stored state ("0" =
+    /// background, "1" = inverse) is tracked and reads rewritten to
+    /// expect it, producing a march clean by construction.
+    fn arb_march(rng: &mut StdRng) -> MarchTest {
+        let mut elements = Vec::new();
+        for _ in 0..rng.gen_range(1..6usize) {
+            let order = arb_order(rng);
+            let first_write = *[MarchOp::W0, MarchOp::W1].choose(rng).expect("non-empty");
+            let mut state = !matches!(first_write, MarchOp::W0);
+            let mut ops = vec![first_write];
+            for _ in 0..rng.gen_range(0..4usize) {
+                let fixed = match arb_op(rng) {
+                    MarchOp::W0 => {
+                        state = false;
+                        MarchOp::W0
+                    }
+                    MarchOp::W1 => {
+                        state = true;
+                        MarchOp::W1
+                    }
+                    MarchOp::R0 | MarchOp::R1 => {
+                        if state {
+                            MarchOp::R1
+                        } else {
+                            MarchOp::R0
                         }
-                        MarchOp::W1 => {
-                            state = true;
-                            MarchOp::W1
-                        }
-                        MarchOp::R0 | MarchOp::R1 => {
-                            if state {
-                                MarchOp::R1
-                            } else {
-                                MarchOp::R0
-                            }
-                        }
-                    };
-                    ops.push(fixed);
-                }
-                elements.push(MarchElement::Sweep { order, ops });
+                    }
+                };
+                ops.push(fixed);
             }
-            MarchTest::new("random", elements)
-        })
+            elements.push(MarchElement::Sweep { order, ops });
+        }
+        MarchTest::new("random", elements)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn fault_free_memory_never_fails_a_wellformed_march(test in arb_march()) {
+    #[test]
+    fn fault_free_memory_never_fails_a_wellformed_march() {
+        let mut rng = StdRng::seed_from_u64(0xE61_0001);
+        for case in 0..CASES {
+            let test = arb_march(&mut rng);
             let org = ArrayOrg::new(64, 8, 4, 0).unwrap();
             let mut ram = SramModel::new(org);
             let out = run_march(&test, &mut ram, &MarchConfig::default(), None);
-            prop_assert!(!out.detected(), "false alarm on {test}");
+            assert!(!out.detected(), "case {case}: false alarm on {test}");
         }
+    }
 
-        #[test]
-        fn operation_counts_match_the_formula(test in arb_march()) {
+    #[test]
+    fn operation_counts_match_the_formula() {
+        let mut rng = StdRng::seed_from_u64(0xE61_0002);
+        for case in 0..CASES {
+            let test = arb_march(&mut rng);
             let org = ArrayOrg::new(64, 8, 4, 0).unwrap();
             let mut ram = SramModel::new(org);
             let out = run_march(&test, &mut ram, &MarchConfig::quick(), None);
             // quick() stops early only on detection; fault-free runs all.
-            prop_assert_eq!(out.reads() + out.writes(), test.operation_count(64));
+            assert_eq!(
+                out.reads() + out.writes(),
+                test.operation_count(64),
+                "case {case}: {test}"
+            );
         }
+    }
 
-        #[test]
-        fn engine_is_deterministic(element in arb_element()) {
+    #[test]
+    fn engine_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0xE61_0003);
+        for case in 0..CASES {
+            let element = arb_element(&mut rng);
             let test = MarchTest::new(
                 "det",
                 vec![MarchElement::either(&[MarchOp::W0]), element],
@@ -493,25 +506,34 @@ mod proptests {
                 ram.inject(Fault::new(seed_cell, FaultKind::StuckAt(true)));
                 run_march(&test, &mut ram, &MarchConfig::default(), None)
             };
-            prop_assert_eq!(run(100), run(100));
+            assert_eq!(run(100), run(100), "case {case}: {test}");
         }
+    }
 
-        #[test]
-        fn any_wellformed_march_with_a_read_detects_a_stuck_pair(test in arb_march()) {
+    #[test]
+    fn any_wellformed_march_with_a_read_detects_a_stuck_pair() {
+        let mut rng = StdRng::seed_from_u64(0xE61_0004);
+        let mut checked = 0;
+        for case in 0..CASES * 2 {
             // A cell stuck at 0 AND its word-mate stuck at 1 guarantee a
             // mismatch on every read of that word, whatever the data.
+            let test = arb_march(&mut rng);
             let has_read = test
                 .elements()
                 .iter()
                 .any(|e| matches!(e, MarchElement::Sweep { ops, .. }
                     if ops.iter().any(|o| o.is_read())));
-            prop_assume!(has_read);
+            if !has_read {
+                continue; // the seeded analogue of prop_assume!
+            }
+            checked += 1;
             let org = ArrayOrg::new(64, 8, 4, 0).unwrap();
             let mut ram = SramModel::new(org);
             ram.inject(Fault::new(org.cell_at(3, 1, 0), FaultKind::StuckAt(false)));
             ram.inject(Fault::new(org.cell_at(3, 1, 1), FaultKind::StuckAt(true)));
             let out = run_march(&test, &mut ram, &MarchConfig::default(), None);
-            prop_assert!(out.detected());
+            assert!(out.detected(), "case {case}: {test}");
         }
+        assert!(checked >= CASES / 2, "only {checked} marches had a read");
     }
 }

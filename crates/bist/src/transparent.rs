@@ -208,13 +208,13 @@ mod tests {
     use super::*;
     use crate::march;
     use bisram_mem::{ArrayOrg, Fault, FaultKind};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     fn loaded_ram() -> (SramModel, Vec<Word>) {
         let org = ArrayOrg::new(128, 8, 4, 0).unwrap();
         let mut ram = SramModel::new(org);
-        let mut rng = StdRng::seed_from_u64(1234);
+        let mut rng = StdRng::seed_from_u64(5);
         let mut contents = Vec::new();
         for addr in 0..org.words() {
             let w = Word::from_u64(rng.gen::<u64>() & 0xFF, 8);

@@ -144,7 +144,8 @@ pub fn wire_delay(r_total: f64, c_total: f64, load_cap: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn single_rc_is_rc() {
@@ -195,19 +196,35 @@ mod tests {
         t.add_node(7, 1.0, 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn delay_monotone_in_load(r in 1.0f64..1e4, c in 1e-15f64..1e-11, load in 0.0f64..1e-11) {
+    // Deterministic seeded sweeps over the same parameter boxes the
+    // proptest strategies drew from.
+
+    #[test]
+    fn delay_monotone_in_load() {
+        let mut rng = StdRng::seed_from_u64(0xE7_0001);
+        for case in 0..256 {
+            let r = rng.gen_range(1.0f64..1e4);
+            let c = rng.gen_range(1e-15f64..1e-11);
+            let load = rng.gen_range(0.0f64..1e-11);
             let d0 = wire_delay(r, c, load);
             let d1 = wire_delay(r, c, load + 1e-12);
-            prop_assert!(d1 > d0);
+            assert!(d1 > d0, "case {case}: r={r:e} c={c:e} load={load:e}: {d1:e} !> {d0:e}");
         }
+    }
 
-        #[test]
-        fn delay_scales_linearly_with_r(r in 1.0f64..1e4, c in 1e-15f64..1e-11) {
+    #[test]
+    fn delay_scales_linearly_with_r() {
+        let mut rng = StdRng::seed_from_u64(0xE7_0002);
+        for case in 0..256 {
+            let r = rng.gen_range(1.0f64..1e4);
+            let c = rng.gen_range(1e-15f64..1e-11);
             let d1 = wire_delay(r, c, 0.0);
             let d2 = wire_delay(2.0 * r, c, 0.0);
-            prop_assert!((d2 / d1 - 2.0).abs() < 1e-9);
+            assert!(
+                (d2 / d1 - 2.0).abs() < 1e-9,
+                "case {case}: r={r:e} c={c:e}: ratio {}",
+                d2 / d1
+            );
         }
     }
 }

@@ -142,7 +142,9 @@ impl std::fmt::Display for Orientation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::seq::SliceRandom;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn rotations_compose() {
@@ -184,31 +186,51 @@ mod tests {
         }
     }
 
-    fn arb_orient() -> impl Strategy<Value = Orientation> {
-        prop::sample::select(Orientation::ALL.to_vec())
+    fn arb_orient(rng: &mut StdRng) -> Orientation {
+        *Orientation::ALL.choose(rng).expect("non-empty")
     }
 
-    proptest! {
-        #[test]
-        fn inverse_undoes(o in arb_orient(), x in -100i64..100, y in -100i64..100) {
-            let p = Point::new(x, y);
-            prop_assert_eq!(o.inverse().apply_point(o.apply_point(p)), p);
-        }
+    // Deterministic seeded sweeps over the whole input space; each assert
+    // names the failing inputs so a failure replays directly.
 
-        #[test]
-        fn composition_matches_sequential_application(
-            a in arb_orient(), b in arb_orient(), x in -100i64..100, y in -100i64..100
-        ) {
-            let p = Point::new(x, y);
-            prop_assert_eq!(a.then(b).apply_point(p), b.apply_point(a.apply_point(p)));
+    #[test]
+    fn inverse_undoes() {
+        let mut rng = StdRng::seed_from_u64(0x0F1E_0001);
+        for case in 0..256 {
+            let o = arb_orient(&mut rng);
+            let p = Point::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+            assert_eq!(
+                o.inverse().apply_point(o.apply_point(p)),
+                p,
+                "case {case}: o={o} p={p:?}"
+            );
         }
+    }
 
-        #[test]
-        fn group_closure(a in arb_orient(), b in arb_orient()) {
-            // `then` must always return a valid element (no panic) and the
-            // group has exactly 8 elements.
-            let c = a.then(b);
-            prop_assert!(Orientation::ALL.contains(&c));
+    #[test]
+    fn composition_matches_sequential_application() {
+        let mut rng = StdRng::seed_from_u64(0x0F1E_0002);
+        for case in 0..256 {
+            let a = arb_orient(&mut rng);
+            let b = arb_orient(&mut rng);
+            let p = Point::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+            assert_eq!(
+                a.then(b).apply_point(p),
+                b.apply_point(a.apply_point(p)),
+                "case {case}: a={a} b={b} p={p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_closure() {
+        // `then` must always return a valid element (no panic) and the
+        // group has exactly 8 elements — exhaustive, the space is 64.
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                let c = a.then(b);
+                assert!(Orientation::ALL.contains(&c), "a={a} b={b} -> {c}");
+            }
         }
     }
 }

@@ -245,7 +245,8 @@ impl std::fmt::Display for Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn constructor_normalizes_corners() {
@@ -326,53 +327,84 @@ mod tests {
         assert_eq!(a.spacing(a), 0);
     }
 
-    fn arb_rect() -> impl Strategy<Value = Rect> {
-        (-1000i64..1000, -1000i64..1000, -1000i64..1000, -1000i64..1000)
-            .prop_map(|(a, b, c, d)| Rect::new(a, b, c, d))
+    fn arb_rect(rng: &mut StdRng) -> Rect {
+        Rect::new(
+            rng.gen_range(-1000i64..1000),
+            rng.gen_range(-1000i64..1000),
+            rng.gen_range(-1000i64..1000),
+            rng.gen_range(-1000i64..1000),
+        )
     }
 
-    proptest! {
-        #[test]
-        fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+    // Deterministic seeded sweeps; rect pairs are drawn from the same
+    // ±1000 box the proptest strategies used, so overlapping, abutting
+    // and distant pairs all occur. The failing pair is in every message.
+
+    #[test]
+    fn union_contains_both() {
+        let mut rng = StdRng::seed_from_u64(0x2EC7_0001);
+        for case in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
             let u = a.union(b);
-            prop_assert!(u.contains_rect(a));
-            prop_assert!(u.contains_rect(b));
+            assert!(u.contains_rect(a), "case {case}: union {u} of {a}, {b}");
+            assert!(u.contains_rect(b), "case {case}: union {u} of {a}, {b}");
         }
+    }
 
-        #[test]
-        fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn intersection_contained_in_both() {
+        let mut rng = StdRng::seed_from_u64(0x2EC7_0002);
+        for case in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
             if let Some(i) = a.intersection(b) {
-                prop_assert!(a.contains_rect(i));
-                prop_assert!(b.contains_rect(i));
+                assert!(a.contains_rect(i), "case {case}: {a} ∩ {b} = {i}");
+                assert!(b.contains_rect(i), "case {case}: {a} ∩ {b} = {i}");
             }
         }
+    }
 
-        #[test]
-        fn translate_preserves_size(r in arb_rect(), dx in -500i64..500, dy in -500i64..500) {
-            let t = r.translate(crate::Vector::new(dx, dy));
-            prop_assert_eq!(t.width(), r.width());
-            prop_assert_eq!(t.height(), r.height());
-            prop_assert_eq!(t.area(), r.area());
+    #[test]
+    fn translate_preserves_size() {
+        let mut rng = StdRng::seed_from_u64(0x2EC7_0003);
+        for case in 0..256 {
+            let r = arb_rect(&mut rng);
+            let v = crate::Vector::new(rng.gen_range(-500i64..500), rng.gen_range(-500i64..500));
+            let t = r.translate(v);
+            assert_eq!(t.width(), r.width(), "case {case}: {r} by {v:?}");
+            assert_eq!(t.height(), r.height(), "case {case}: {r} by {v:?}");
+            assert_eq!(t.area(), r.area(), "case {case}: {r} by {v:?}");
         }
+    }
 
-        #[test]
-        fn overlap_is_symmetric(a in arb_rect(), b in arb_rect()) {
-            prop_assert_eq!(a.overlaps(b), b.overlaps(a));
-            prop_assert_eq!(a.abuts(b), b.abuts(a));
-            prop_assert_eq!(a.spacing(b), b.spacing(a));
+    #[test]
+    fn overlap_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(0x2EC7_0004);
+        for case in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
+            assert_eq!(a.overlaps(b), b.overlaps(a), "case {case}: {a} vs {b}");
+            assert_eq!(a.abuts(b), b.abuts(a), "case {case}: {a} vs {b}");
+            assert_eq!(a.spacing(b), b.spacing(a), "case {case}: {a} vs {b}");
         }
+    }
 
-        #[test]
-        fn overlap_implies_touch_not_abut(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn overlap_implies_touch_not_abut() {
+        let mut rng = StdRng::seed_from_u64(0x2EC7_0005);
+        for case in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
             if a.overlaps(b) {
-                prop_assert!(a.touches(b));
-                prop_assert!(!a.abuts(b));
+                assert!(a.touches(b), "case {case}: {a} vs {b}");
+                assert!(!a.abuts(b), "case {case}: {a} vs {b}");
             }
         }
+    }
 
-        #[test]
-        fn spacing_zero_iff_touching(a in arb_rect(), b in arb_rect()) {
-            prop_assert_eq!(a.spacing(b) == 0, a.touches(b));
+    #[test]
+    fn spacing_zero_iff_touching() {
+        let mut rng = StdRng::seed_from_u64(0x2EC7_0006);
+        for case in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
+            assert_eq!(a.spacing(b) == 0, a.touches(b), "case {case}: {a} vs {b}");
         }
     }
 }

@@ -338,7 +338,8 @@ mod tests {
     use super::*;
     use bisram_geom::{Port, PortDirection, Side};
     use bisram_tech::Layer;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     fn block(name: &str, w: Coord, h: Coord, ports: &[(&str, Side)]) -> Macro {
         let mut c = Cell::new(name);
@@ -471,12 +472,13 @@ mod tests {
         let _ = stretch_to_width(&c, 50);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn random_block_sets_place_without_overlap(
-            dims in proptest::collection::vec((100i64..2000, 100i64..2000), 2..10)
-        ) {
+    #[test]
+    fn random_block_sets_place_without_overlap() {
+        let mut rng = StdRng::seed_from_u64(0x91A_0001);
+        for case in 0..32 {
+            let dims: Vec<(i64, i64)> = (0..rng.gen_range(2usize..10))
+                .map(|_| (rng.gen_range(100i64..2000), rng.gen_range(100i64..2000)))
+                .collect();
             let macros: Vec<Macro> = dims
                 .iter()
                 .enumerate()
@@ -484,15 +486,22 @@ mod tests {
                 .collect();
             let n = macros.len();
             let p = place(macros);
-            prop_assert_eq!(p.placed().len(), n);
+            assert_eq!(p.placed().len(), n, "case {case}: dims={dims:?}");
             for i in 0..n {
                 for j in (i + 1)..n {
-                    prop_assert!(!p.placed()[i].bbox().overlaps(p.placed()[j].bbox()));
+                    assert!(
+                        !p.placed()[i].bbox().overlaps(p.placed()[j].bbox()),
+                        "case {case}: dims={dims:?} blocks {i} and {j} overlap"
+                    );
                 }
             }
             // The packing is never worse than 4x the area lower bound
             // (the provably-near-optimal claim, conservatively).
-            prop_assert!(p.utilization() > 0.25, "utilization {}", p.utilization());
+            assert!(
+                p.utilization() > 0.25,
+                "case {case}: dims={dims:?} utilization {}",
+                p.utilization()
+            );
         }
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::fault::{Fault, FaultKind};
 use crate::org::ArrayOrg;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use bisram_rng::seq::SliceRandom;
+use bisram_rng::Rng;
 
 /// Relative weights of the fault classes in a random campaign. The
 /// defaults roughly follow the inductive-fault-analysis literature's
@@ -89,25 +89,34 @@ fn random_kind<R: Rng + ?Sized>(
     mix: &FaultMix,
 ) -> FaultKind {
     let t = mix.total();
-    let mut x = rng.gen_range(0.0..t);
-    x -= mix.stuck_at;
-    if x < 0.0 {
+    assert!(t > 0.0 && t.is_finite(), "fault mix has zero weight");
+    // `x < t` holds by the half-open range contract, and the running
+    // accumulator repeats exactly the additions behind `total()`, so the
+    // last positive-weight category always claims the draw — no category
+    // is ever selected by floating-point leftovers alone.
+    let x = rng.gen_range(0.0..t);
+    let mut acc = mix.stuck_at;
+    if mix.stuck_at > 0.0 && x < acc {
         return FaultKind::StuckAt(rng.gen());
     }
-    x -= mix.transition;
-    if x < 0.0 {
+    acc += mix.transition;
+    if mix.transition > 0.0 && x < acc {
         return if rng.gen() {
             FaultKind::TransitionUp
         } else {
             FaultKind::TransitionDown
         };
     }
-    x -= mix.stuck_open;
-    if x < 0.0 {
+    acc += mix.stuck_open;
+    if mix.stuck_open > 0.0 && x < acc {
         return FaultKind::StuckOpen;
     }
-    x -= mix.coupling;
-    if x < 0.0 {
+    acc += mix.coupling;
+    if mix.coupling > 0.0 && x < acc {
+        assert!(
+            org.total_cells() > 1,
+            "coupling faults need at least two cells"
+        );
         // Aggressor: a random other cell, biased toward the same physical
         // row (adjacent-cell defects), as layout locality dictates.
         let aggressor = loop {
@@ -141,6 +150,9 @@ fn random_kind<R: Rng + ?Sized>(
             },
         };
     }
+    // Explicit final category: retention must carry the remaining weight,
+    // otherwise one of the guarded branches above already returned.
+    assert!(mix.retention > 0.0, "draw escaped every weighted category");
     FaultKind::Retention { leaks_to: rng.gen() }
 }
 
@@ -170,8 +182,8 @@ pub fn column_failure(org: &ArrayOrg, subarray_bit: usize, col: usize, stuck: bo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::SeedableRng;
 
     fn org() -> ArrayOrg {
         ArrayOrg::new(256, 8, 4, 4).unwrap()
@@ -243,6 +255,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let o = org();
         random_faults(&mut rng, &o, o.total_cells() + 1, &FaultMix::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero weight")]
+    fn all_zero_mix_rejected_before_sampling() {
+        // Regression: an all-zero mix used to reach `gen_range(0.0..0.0)`
+        // — a degenerate range — instead of failing with a clear message.
+        let zero = FaultMix {
+            stuck_at: 0.0,
+            transition: 0.0,
+            stuck_open: 0.0,
+            coupling: 0.0,
+            retention: 0.0,
+        };
+        random_faults(&mut StdRng::seed_from_u64(1), &org(), 1, &zero);
+    }
+
+    #[test]
+    fn single_category_mixes_select_exactly_that_category() {
+        // The explicit fall-through must route a draw to the one positive
+        // weight, whatever its position — never to retention by default.
+        let cases: [(FaultMix, &[&str]); 3] = [
+            (
+                FaultMix { stuck_at: 0.0, transition: 1.0, stuck_open: 0.0, coupling: 0.0, retention: 0.0 },
+                &["TF"],
+            ),
+            (
+                FaultMix { stuck_at: 0.0, transition: 0.0, stuck_open: 0.0, coupling: 1.0, retention: 0.0 },
+                &["CFin", "CFid", "CFst"],
+            ),
+            (
+                FaultMix { stuck_at: 0.0, transition: 0.0, stuck_open: 0.0, coupling: 0.0, retention: 1.0 },
+                &["DRF"],
+            ),
+        ];
+        for (mix, classes) in cases {
+            let mut rng = StdRng::seed_from_u64(8);
+            for f in random_faults(&mut rng, &org(), 50, &mix) {
+                assert!(
+                    classes.contains(&f.kind.class()),
+                    "mix {mix:?} produced {:?}",
+                    f.kind
+                );
+            }
+        }
     }
 
     #[test]

@@ -249,7 +249,8 @@ impl std::fmt::Display for ArrayOrg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn paper_fig4_configuration() {
@@ -335,22 +336,32 @@ mod tests {
         ArrayOrg::new(64, 8, 4, 0).unwrap().split(64);
     }
 
-    proptest! {
-        #[test]
-        fn derived_quantities_consistent(
-            rows_log2 in 2u32..10,
-            bpw in 1usize..64,
-            bpc_log2 in 0u32..4,
-            spares in 0usize..8,
-        ) {
-            let bpc = 1usize << bpc_log2;
+    #[test]
+    fn derived_quantities_consistent() {
+        // Deterministic seeded sweep over valid organisations (the same
+        // parameter space the proptest strategy generated).
+        let mut rng = StdRng::seed_from_u64(0x026_0001);
+        for case in 0..256 {
+            let rows_log2 = rng.gen_range(2u32..10);
+            let bpw = rng.gen_range(1usize..64);
+            let bpc = 1usize << rng.gen_range(0u32..4);
+            let spares = rng.gen_range(0usize..8);
             let words = (1usize << rows_log2) * bpc;
-            let org = ArrayOrg::new(words, bpw, bpc, spares).unwrap();
-            prop_assert_eq!(org.rows() * org.bpc(), org.words());
-            prop_assert_eq!(org.cells(), org.words() * org.bpw());
-            prop_assert_eq!(org.total_cells() - org.cells(), org.spare_words() * org.bpw());
-            prop_assert_eq!(1usize << org.row_bits(), org.rows());
-            prop_assert_eq!(1usize << org.col_bits(), org.bpc());
+            let ctx = format!(
+                "case {case}: words={words} bpw={bpw} bpc={bpc} spares={spares}"
+            );
+            let org = ArrayOrg::new(words, bpw, bpc, spares).unwrap_or_else(|e| {
+                panic!("{ctx}: rejected valid organisation: {e}")
+            });
+            assert_eq!(org.rows() * org.bpc(), org.words(), "{ctx}");
+            assert_eq!(org.cells(), org.words() * org.bpw(), "{ctx}");
+            assert_eq!(
+                org.total_cells() - org.cells(),
+                org.spare_words() * org.bpw(),
+                "{ctx}"
+            );
+            assert_eq!(1usize << org.row_bits(), org.rows(), "{ctx}");
+            assert_eq!(1usize << org.col_bits(), org.bpc(), "{ctx}");
         }
     }
 }

@@ -66,8 +66,8 @@ mod tests {
     use bisram_bist::engine::{run_march, MarchConfig};
     use bisram_bist::march;
     use bisram_mem::{column_failure, random_faults, FaultMix, SramModel};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::SeedableRng;
 
     #[test]
     fn column_failure_is_diagnosed() {

@@ -133,7 +133,8 @@ impl RowMap for Tlb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn empty_tlb_is_identity() {
@@ -198,33 +199,52 @@ mod tests {
         let _ = tlb.capture(64);
     }
 
-    proptest! {
-        #[test]
-        fn mapped_rows_land_in_spare_region(rows in proptest::collection::vec(0usize..100, 1..8)) {
+    // Deterministic seeded sweeps over random capture sequences
+    // (duplicates allowed in the first, deduplicated in the second).
+
+    #[test]
+    fn mapped_rows_land_in_spare_region() {
+        let mut rng = StdRng::seed_from_u64(0x71B_0001);
+        for case in 0..256 {
+            let rows: Vec<usize> = (0..rng.gen_range(1usize..8))
+                .map(|_| rng.gen_range(0usize..100))
+                .collect();
             let mut tlb = Tlb::new(100, 8);
             for &r in &rows {
                 tlb.capture(r).unwrap();
             }
             for &r in &rows {
                 let m = tlb.map_row(r);
-                prop_assert!(m >= 100 && m < 108);
+                assert!(
+                    m >= 100 && m < 108,
+                    "case {case}: rows={rows:?} row {r} mapped to {m}"
+                );
             }
             // Unmapped rows are untouched.
             for r in 0..100 {
                 if !rows.contains(&r) {
-                    prop_assert_eq!(tlb.map_row(r), r);
+                    assert_eq!(tlb.map_row(r), r, "case {case}: rows={rows:?}");
                 }
             }
         }
+    }
 
-        #[test]
-        fn distinct_rows_get_distinct_spares(rows in proptest::collection::hash_set(0usize..100, 1..8)) {
+    #[test]
+    fn distinct_rows_get_distinct_spares() {
+        let mut rng = StdRng::seed_from_u64(0x71B_0002);
+        for case in 0..256 {
+            let want = rng.gen_range(1usize..8);
+            let mut rows = std::collections::HashSet::new();
+            while rows.len() < want {
+                rows.insert(rng.gen_range(0usize..100));
+            }
             let mut tlb = Tlb::new(100, 8);
             for &r in &rows {
                 tlb.capture(r).unwrap();
             }
-            let mapped: std::collections::HashSet<_> = rows.iter().map(|&r| tlb.map_row(r)).collect();
-            prop_assert_eq!(mapped.len(), rows.len());
+            let mapped: std::collections::HashSet<_> =
+                rows.iter().map(|&r| tlb.map_row(r)).collect();
+            assert_eq!(mapped.len(), rows.len(), "case {case}: rows={rows:?}");
         }
     }
 }

@@ -163,7 +163,8 @@ impl DesignRules {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn scmos_rule_values() {
@@ -188,24 +189,48 @@ mod tests {
         assert_eq!(r.l(4), 1200);
     }
 
-    proptest! {
-        #[test]
-        fn rules_scale_linearly(lambda in 1i64..2000) {
-            let base = DesignRules::scmos(1);
+    // Deterministic seeded sweeps over random lambdas (plus the
+    // boundary values), replacing the proptest strategies.
+
+    fn sweep_lambdas(seed: u64, cases: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lambdas = vec![1, 2, 1999];
+        lambdas.extend((0..cases).map(|_| rng.gen_range(1i64..2000)));
+        lambdas
+    }
+
+    #[test]
+    fn rules_scale_linearly() {
+        let base = DesignRules::scmos(1);
+        for lambda in sweep_lambdas(0x12E5_0001, 128) {
             let scaled = DesignRules::scmos(lambda);
             for layer in Layer::ALL {
-                prop_assert_eq!(scaled.min_width(layer), base.min_width(layer) * lambda);
-                prop_assert_eq!(scaled.min_space(layer), base.min_space(layer) * lambda);
+                assert_eq!(
+                    scaled.min_width(layer),
+                    base.min_width(layer) * lambda,
+                    "lambda={lambda} layer={layer:?}"
+                );
+                assert_eq!(
+                    scaled.min_space(layer),
+                    base.min_space(layer) * lambda,
+                    "lambda={lambda} layer={layer:?}"
+                );
             }
-            prop_assert_eq!(scaled.well_enclosure(), base.well_enclosure() * lambda);
+            assert_eq!(
+                scaled.well_enclosure(),
+                base.well_enclosure() * lambda,
+                "lambda={lambda}"
+            );
         }
+    }
 
-        #[test]
-        fn all_rules_positive(lambda in 1i64..2000) {
+    #[test]
+    fn all_rules_positive() {
+        for lambda in sweep_lambdas(0x12E5_0002, 128) {
             let r = DesignRules::scmos(lambda);
             for layer in Layer::ALL {
-                prop_assert!(r.min_width(layer) > 0);
-                prop_assert!(r.min_space(layer) > 0);
+                assert!(r.min_width(layer) > 0, "lambda={lambda} layer={layer:?}");
+                assert!(r.min_space(layer) > 0, "lambda={lambda} layer={layer:?}");
             }
         }
     }

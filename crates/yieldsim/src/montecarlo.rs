@@ -11,7 +11,7 @@ use bisram_bist::engine::MarchConfig;
 use bisram_bist::march;
 use bisram_mem::{random_faults, ArrayOrg, FaultMix, SramModel};
 use bisram_repair::flow::{self, RepairSetup};
-use rand::Rng;
+use bisram_rng::Rng;
 
 /// Draws a Poisson random variate with the given mean (Knuth's method
 /// for small means, normal approximation above 64).
@@ -160,8 +160,8 @@ pub fn simulate_yield<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::repairability::repair_probability;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::SeedableRng;
 
     #[test]
     fn poisson_sample_mean_and_variance() {

@@ -207,7 +207,9 @@ impl YieldModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::seq::SliceRandom;
+    use bisram_rng::{Rng, SeedableRng};
 
     fn fig4_org(spares: usize) -> ArrayOrg {
         // Fig. 4: 1024 rows, bpc = 4, bpw = 4.
@@ -316,25 +318,33 @@ mod tests {
         assert!((m.growth_factor - expect).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn repair_probability_is_monotone_decreasing(
-            n in 0.0f64..50.0,
-            spares in prop::sample::select(vec![0usize, 4, 8, 16]),
-        ) {
+    #[test]
+    fn repair_probability_is_monotone_decreasing() {
+        let mut rng = StdRng::seed_from_u64(0x4E9_0001);
+        for case in 0..256 {
+            let n = rng.gen_range(0.0f64..50.0);
+            let spares = *[0usize, 4, 8, 16].choose(&mut rng).expect("non-empty");
             let org = fig4_org(spares);
             let a = repair_probability(&org, n);
             let b = repair_probability(&org, n + 1.0);
-            prop_assert!(b <= a + 1e-12);
-            prop_assert!((0.0..=1.0).contains(&a));
+            assert!(b <= a + 1e-12, "case {case}: n={n} spares={spares}: {b} > {a}");
+            assert!(
+                (0.0..=1.0).contains(&a),
+                "case {case}: n={n} spares={spares}: {a}"
+            );
         }
+    }
 
-        #[test]
-        fn binomial_cdf_monotone_in_k(n in 1usize..200, p in 0.0f64..1.0, k in 0usize..200) {
-            let k = k.min(n);
+    #[test]
+    fn binomial_cdf_monotone_in_k() {
+        let mut rng = StdRng::seed_from_u64(0x4E9_0002);
+        for case in 0..256 {
+            let n = rng.gen_range(1usize..200);
+            let p = rng.gen_range(0.0f64..1.0);
+            let k = rng.gen_range(0usize..200).min(n);
             let a = binomial_cdf(n, p, k);
             let b = binomial_cdf(n, p, (k + 1).min(n));
-            prop_assert!(b >= a - 1e-12);
+            assert!(b >= a - 1e-12, "case {case}: n={n} p={p} k={k}: {b} < {a}");
         }
     }
 }

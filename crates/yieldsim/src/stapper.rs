@@ -44,7 +44,8 @@ pub fn cell_yield(lambda: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
 
     #[test]
     fn zero_defects_is_certain_yield() {
@@ -82,17 +83,34 @@ mod tests {
         stapper_yield(1.0, 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn yield_is_a_probability(n in 0.0f64..1e4, alpha in 0.01f64..100.0) {
+    #[test]
+    fn yield_is_a_probability() {
+        let mut rng = StdRng::seed_from_u64(0x57A_0001);
+        for case in 0..512 {
+            let n = rng.gen_range(0.0f64..1e4);
+            let alpha = rng.gen_range(0.01f64..100.0);
             let y = stapper_yield(n, alpha);
-            prop_assert!((0.0..=1.0).contains(&y));
+            assert!(
+                (0.0..=1.0).contains(&y),
+                "case {case}: n={n} alpha={alpha}: {y}"
+            );
         }
+    }
 
-        #[test]
-        fn yield_decreases_with_defects(n in 0.0f64..100.0, alpha in 0.1f64..10.0) {
-            prop_assert!(stapper_yield(n + 1.0, alpha) < stapper_yield(n, alpha));
-            prop_assert!(poisson_yield(n + 1.0) < poisson_yield(n));
+    #[test]
+    fn yield_decreases_with_defects() {
+        let mut rng = StdRng::seed_from_u64(0x57A_0002);
+        for case in 0..512 {
+            let n = rng.gen_range(0.0f64..100.0);
+            let alpha = rng.gen_range(0.1f64..10.0);
+            assert!(
+                stapper_yield(n + 1.0, alpha) < stapper_yield(n, alpha),
+                "case {case}: n={n} alpha={alpha}"
+            );
+            assert!(
+                poisson_yield(n + 1.0) < poisson_yield(n),
+                "case {case}: n={n} alpha={alpha}"
+            );
         }
     }
 }

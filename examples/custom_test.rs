@@ -18,8 +18,8 @@ use bisram_bist::trpla::{assemble, ControllerSim, Pla};
 use bisram_bist::IdentityMap;
 use bisram_mem::{Fault, FaultKind, Word};
 use bisramgen::{compile, RamParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bisram_rng::rngs::StdRng;
+use bisram_rng::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = RamParams::builder()

@@ -15,8 +15,8 @@ use bisram_mem::{random_faults, row_failure, FaultMix};
 use bisram_repair::column;
 use bisram_repair::flow::{self, RepairOutcome, RepairSetup};
 use bisramgen::{compile, RamParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = RamParams::builder()

@@ -12,8 +12,8 @@ use bisram_yield::montecarlo;
 use bisram_yield::mpr;
 use bisram_yield::reliability::ReliabilityModel;
 use bisram_yield::repairability::YieldModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Yield vs defects (the Fig. 4 setting).

@@ -8,8 +8,8 @@ use bisram_bist::march;
 use bisram_bist::trpla::{assemble, ControllerSim};
 use bisram_bist::IdentityMap;
 use bisram_mem::{random_faults, ArrayOrg, FaultMix, SramModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 fn org() -> ArrayOrg {
     ArrayOrg::new(128, 8, 4, 0).expect("valid")

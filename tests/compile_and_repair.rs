@@ -10,8 +10,8 @@ use bisram_mem::{random_faults, row_failure, FaultMix, Word};
 use bisram_repair::flow::{self, RepairOutcome, RepairSetup};
 use bisram_repair::Tlb;
 use bisramgen::{compile, RamParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 fn compiled() -> bisramgen::CompiledRam {
     let params = RamParams::builder()

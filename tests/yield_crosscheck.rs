@@ -5,8 +5,8 @@ use bisram_mem::ArrayOrg;
 use bisram_yield::montecarlo::{self, MonteCarloYield};
 use bisram_yield::repairability::{repair_probability, repair_probability_clustered, YieldModel};
 use bisram_yield::stapper;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::SeedableRng;
 
 fn org(spares: usize) -> ArrayOrg {
     ArrayOrg::new(512, 8, 4, spares).expect("valid")
