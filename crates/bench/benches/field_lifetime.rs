@@ -1,0 +1,97 @@
+//! In-field lifetime simulation (paper §VIII, simulated side): the
+//! event-driven counterpart of Fig. 5. Runs seeded fleets through the
+//! live transparent-BIST + TLB-repair machinery, prints the empirical
+//! survival curve next to the analytic one for 2 and 8 spares, locates
+//! the spare-count crossover empirically, and times the simulator.
+
+use bisram_bench::harness::{black_box, Harness};
+use bisram_bench::{banner, quick_harness};
+use bisram_field::{censored_mttf, simulate_fleet, simulate_lifetime, FieldConfig};
+use bisram_mem::ArrayOrg;
+use bisram_yield::reliability::{crossover_time, ReliabilityModel};
+
+const LIFETIMES: usize = 400;
+const SEED: u64 = 0xF1E1D;
+
+fn config(spares: usize) -> FieldConfig {
+    let org = ArrayOrg::new(32, 2, 2, spares).expect("valid geometry");
+    FieldConfig::new(org, 9.0e-7, 10_000.0, 120_000.0)
+}
+
+fn print_figure() {
+    banner(
+        "field lifetime",
+        "empirical R(t) from seeded in-field simulation vs analytic model; 16 rows, 4 columns",
+    );
+
+    let fleets: Vec<_> = [2usize, 8]
+        .iter()
+        .map(|&s| (s, simulate_fleet(&config(s), LIFETIMES, SEED)))
+        .collect();
+    let models: Vec<_> = [2usize, 8]
+        .iter()
+        .map(|&s| {
+            let cfg = config(s);
+            ReliabilityModel {
+                org: cfg.org,
+                lambda_per_hour: cfg.lambda_per_hour,
+            }
+        })
+        .collect();
+
+    println!(
+        "{:>8} {:>11} {:>11} {:>11} {:>11}",
+        "age (h)", "sim s=2", "model s=2", "sim s=8", "model s=8"
+    );
+    let grid = config(2).session_times();
+    for (j, &t) in grid.iter().enumerate() {
+        println!(
+            "{:>8.0} {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
+            t,
+            fleets[0].1.curve.survival[j],
+            models[0].reliability(t),
+            fleets[1].1.curve.survival[j],
+            models[1].reliability(t),
+        );
+    }
+
+    match crossover_time(&fleets[0].1.curve, &fleets[1].1.curve) {
+        Some(t) => println!("\nempirical 2-vs-8-spare crossover: {t:.0} h"),
+        None => println!("\nno empirical crossover inside the horizon"),
+    }
+    match crossover_time(&models[0].sample(&grid), &models[1].sample(&grid)) {
+        Some(t) => println!("analytic  2-vs-8-spare crossover: {t:.0} h"),
+        None => println!("analytic curves do not cross inside the horizon"),
+    }
+
+    println!("\ncensored MTTF on the session grid ({LIFETIMES} lifetimes):");
+    for (s, fleet) in &fleets {
+        let model = ReliabilityModel {
+            org: config(*s).org,
+            lambda_per_hour: config(*s).lambda_per_hour,
+        };
+        let analytic = censored_mttf(&model.sample(&grid));
+        println!(
+            "  {s} spares: simulated {:>7.0} h, analytic {:>7.0} h  ({} deaths, {} sessions run, {} skipped)",
+            fleet.mttf_hours, analytic, fleet.deaths, fleet.sessions_run, fleet.sessions_skipped
+        );
+    }
+}
+
+fn main() {
+    print_figure();
+    let mut crit: Harness = quick_harness();
+    crit.bench_function("field_single_lifetime", |b| {
+        let cfg = config(4);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            simulate_lifetime(&cfg, black_box(seed))
+        })
+    });
+    crit.bench_function("field_fleet_50", |b| {
+        let cfg = config(4);
+        b.iter(|| simulate_fleet(&cfg, 50, black_box(SEED)))
+    });
+    crit.final_summary();
+}

@@ -81,7 +81,7 @@ fn main() {
             mpr::dataset()
                 .iter()
                 .map(|c| cost::evaluate(c, &model))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     crit.final_summary();

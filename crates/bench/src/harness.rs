@@ -36,12 +36,18 @@ pub struct Measurement {
 
 /// The harness: collects measurements from `bench_function` calls and
 /// prints a summary table at the end of the run.
+///
+/// Setting `BISRAM_BENCH_SMOKE=1` in the environment switches every
+/// harness into *smoke mode*: each benchmark body runs exactly once,
+/// with no warm-up and no sampling. CI uses this to prove every bench
+/// target still executes end to end without paying for real timing.
 #[derive(Debug)]
 pub struct Harness {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
     filter: Option<String>,
+    smoke: bool,
     results: Vec<Measurement>,
 }
 
@@ -52,6 +58,7 @@ impl Default for Harness {
             measurement_time: Duration::from_secs(3),
             warm_up_time: Duration::from_millis(500),
             filter: None,
+            smoke: std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
             results: Vec::new(),
         }
     }
@@ -116,6 +123,7 @@ impl Harness {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
+            smoke: self.smoke,
             result: None,
         };
         f(&mut bencher);
@@ -178,6 +186,7 @@ pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    smoke: bool,
     result: Option<SampleStats>,
 }
 
@@ -185,11 +194,26 @@ impl Bencher {
     /// Measures `routine`: warm-up until the warm-up budget elapses (the
     /// iteration count estimates per-call cost), then `sample_size`
     /// batches sized to spread the measurement budget evenly, reporting
-    /// the median per-iteration wall-clock time.
+    /// the median per-iteration wall-clock time. In smoke mode
+    /// (`BISRAM_BENCH_SMOKE=1`) the routine runs exactly once and the
+    /// single wall-clock time is recorded as-is.
     pub fn iter<O, F>(&mut self, mut routine: F)
     where
         F: FnMut() -> O,
     {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            let t = start.elapsed().as_secs_f64();
+            self.result = Some(SampleStats {
+                median: t,
+                min: t,
+                max: t,
+                iters_per_sample: 1,
+                samples: 1,
+            });
+            return;
+        }
         // Warm-up: run until the budget elapses, estimating cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -293,6 +317,23 @@ mod tests {
     #[should_panic(expected = "never called Bencher::iter")]
     fn forgetting_iter_panics() {
         tiny().bench_function("empty", |_b| {});
+    }
+
+    #[test]
+    fn smoke_mode_runs_the_routine_exactly_once() {
+        let mut h = tiny();
+        h.smoke = true; // what BISRAM_BENCH_SMOKE=1 sets at construction
+        let mut calls = 0u32;
+        h.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1, "smoke mode must not warm up or sample");
+        let m = &h.measurements()[0];
+        assert_eq!(m.iters_per_sample, 1);
+        assert_eq!(m.samples, 1);
+        assert_eq!(m.min, m.max);
     }
 
     #[test]

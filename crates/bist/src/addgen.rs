@@ -32,7 +32,7 @@ impl UpDownCounter {
     ///
     /// Panics if `width` is zero or above 64.
     pub fn new(width: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "counter width out of range");
+        assert!((1..=64).contains(&width), "counter width out of range");
         UpDownCounter {
             bits: vec![false; width as usize],
         }

@@ -87,7 +87,8 @@ pub fn measure<R: Rng + ?Sized>(
         stop_at_first: true,
     };
 
-    let classes: Vec<(&'static str, Box<dyn Fn(&mut R) -> Fault>)> = vec![
+    type FaultGen<'a, R> = Box<dyn Fn(&mut R) -> Fault + 'a>;
+    let classes: Vec<(&'static str, FaultGen<R>)> = vec![
         (
             "SAF",
             Box::new(move |rng: &mut R| {

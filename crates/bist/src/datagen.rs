@@ -42,7 +42,7 @@ impl JohnsonCounter {
     ///
     /// Panics if `stages` is zero or above 64.
     pub fn new(stages: usize) -> Self {
-        assert!(stages >= 1 && stages <= 64, "stage count out of range");
+        assert!((1..=64).contains(&stages), "stage count out of range");
         JohnsonCounter {
             bits: vec![false; stages],
         }
@@ -69,7 +69,8 @@ impl JohnsonCounter {
     /// Advances one clock: shift toward the MSB, feeding back the
     /// complement of the last stage.
     pub fn step(&mut self) {
-        let feedback = !*self.bits.last().expect("at least one stage");
+        // `new` rejects zero stages, so the register is never empty.
+        let feedback = !self.bits[self.bits.len() - 1];
         for i in (1..self.bits.len()).rev() {
             self.bits[i] = self.bits[i - 1];
         }
@@ -100,7 +101,7 @@ impl JohnsonCounter {
 /// assert_eq!(bgs.last().unwrap().to_u64(), 0xFF);
 /// ```
 pub fn backgrounds(bpw: usize) -> Vec<Word> {
-    assert!(bpw >= 1 && bpw <= Word::MAX_BITS, "word width out of range");
+    assert!((1..=Word::MAX_BITS).contains(&bpw), "word width out of range");
     let mut out = vec![Word::zeros(bpw)];
     for run in 1..=(bpw / 2) {
         out.push(Word::background(bpw, run, false));

@@ -193,15 +193,38 @@ pub fn run_march(
 /// pass to test mapped redundant locations. Returns the physical spare
 /// rows that failed.
 pub fn test_spare_rows(test: &MarchTest, ram: &mut SramModel, config: &MarchConfig) -> Vec<usize> {
+    let rows: Vec<usize> = (ram.org().rows()..ram.org().total_rows()).collect();
+    test_physical_rows(test, ram, config, &rows)
+}
+
+/// Runs `test` destructively over an explicit set of physical rows,
+/// returning the ones that failed (sorted, deduplicated).
+///
+/// This is the row-subset variant the in-field engine needs: periodic
+/// spare-region checks must cover only the *unassigned* spares, because
+/// assigned spares hold live user data (those are screened transparently
+/// through the TLB instead). Out-of-range rows are ignored rather than
+/// panicking — the caller's bookkeeping may lag the hardware, and a
+/// field check must not abort on a stale address.
+pub fn test_physical_rows(
+    test: &MarchTest,
+    ram: &mut SramModel,
+    config: &MarchConfig,
+    rows: &[usize],
+) -> Vec<usize> {
     let bpw = ram.org().bpw();
     let backgrounds = match &config.schedule {
         BackgroundSchedule::Johnson => datagen::backgrounds(bpw),
         BackgroundSchedule::Single => datagen::single_background(bpw),
         BackgroundSchedule::Explicit(v) => v.clone(),
     };
-    let first_spare = ram.org().rows();
     let total = ram.org().total_rows();
     let bpc = ram.org().bpc();
+    let positions_up: Vec<(usize, usize)> = rows
+        .iter()
+        .filter(|&&r| r < total)
+        .flat_map(|&r| (0..bpc).map(move |c| (r, c)))
+        .collect();
     let mut failed: Vec<usize> = Vec::new();
 
     for bg in &backgrounds {
@@ -210,16 +233,13 @@ pub fn test_spare_rows(test: &MarchTest, ram: &mut SramModel, config: &MarchConf
             match element {
                 MarchElement::Delay => ram.retention_pause(),
                 MarchElement::Sweep { order, ops } => {
-                    let positions: Vec<(usize, usize)> = {
-                        let mut v: Vec<(usize, usize)> = (first_spare..total)
-                            .flat_map(|r| (0..bpc).map(move |c| (r, c)))
-                            .collect();
-                        if !order.effective_up() {
-                            v.reverse();
-                        }
-                        v
-                    };
-                    for (row, col) in positions {
+                    let positions: Box<dyn Iterator<Item = &(usize, usize)>> =
+                        if order.effective_up() {
+                            Box::new(positions_up.iter())
+                        } else {
+                            Box::new(positions_up.iter().rev())
+                        };
+                    for &(row, col) in positions {
                         for op in ops {
                             let data = if op.is_inverse() { &inv } else { bg };
                             match op {
@@ -384,6 +404,39 @@ mod tests {
     }
 
     #[test]
+    fn physical_row_subset_testing_covers_only_requested_rows() {
+        let mut m = ram(4);
+        let first_spare = m.org().rows();
+        // Faults in two spares; ask about only one of them.
+        m.inject(Fault::new(
+            m.org().cell_at(first_spare, 0, 0),
+            FaultKind::StuckAt(true),
+        ));
+        m.inject(Fault::new(
+            m.org().cell_at(first_spare + 2, 0, 0),
+            FaultKind::StuckAt(true),
+        ));
+        let failed = test_physical_rows(
+            &march::ifa9(),
+            &mut m,
+            &MarchConfig::default(),
+            &[first_spare + 1, first_spare + 2],
+        );
+        assert_eq!(failed, vec![first_spare + 2]);
+        // The untested faulty spare's cells were never touched.
+        assert_eq!(m.read_word_at(first_spare, 0).to_u64() & 1, 1);
+        // Out-of-range rows are ignored, not a panic.
+        let total = m.org().total_rows();
+        let failed = test_physical_rows(
+            &march::ifa9(),
+            &mut m,
+            &MarchConfig::default(),
+            &[total, total + 7],
+        );
+        assert!(failed.is_empty());
+    }
+
+    #[test]
     fn operation_counts_match_formula() {
         let mut m = ram(0);
         let out = run_march(&march::mats_plus(), &mut m, &MarchConfig::quick(), None);
@@ -400,21 +453,20 @@ mod proptests {
     use crate::march::{AddrOrder, MarchElement, MarchOp, MarchTest};
     use bisram_mem::{ArrayOrg, Fault, FaultKind, SramModel};
     use bisram_rng::rngs::StdRng;
-    use bisram_rng::seq::SliceRandom;
     use bisram_rng::{Rng, SeedableRng};
 
     const CASES: usize = 48;
 
     fn arb_op(rng: &mut StdRng) -> MarchOp {
-        *[MarchOp::R0, MarchOp::R1, MarchOp::W0, MarchOp::W1]
-            .choose(rng)
-            .expect("non-empty")
+        // Indexing a const array with a bounded draw cannot fail, unlike
+        // `choose` whose Option would need unwrapping.
+        const OPS: [MarchOp; 4] = [MarchOp::R0, MarchOp::R1, MarchOp::W0, MarchOp::W1];
+        OPS[rng.gen_range(0..OPS.len())]
     }
 
     fn arb_order(rng: &mut StdRng) -> AddrOrder {
-        *[AddrOrder::Up, AddrOrder::Down, AddrOrder::Either]
-            .choose(rng)
-            .expect("non-empty")
+        const ORDERS: [AddrOrder; 3] = [AddrOrder::Up, AddrOrder::Down, AddrOrder::Either];
+        ORDERS[rng.gen_range(0..ORDERS.len())]
     }
 
     fn arb_element(rng: &mut StdRng) -> MarchElement {
@@ -434,7 +486,11 @@ mod proptests {
         let mut elements = Vec::new();
         for _ in 0..rng.gen_range(1..6usize) {
             let order = arb_order(rng);
-            let first_write = *[MarchOp::W0, MarchOp::W1].choose(rng).expect("non-empty");
+            let first_write = if rng.gen_bool(0.5) {
+                MarchOp::W0
+            } else {
+                MarchOp::W1
+            };
             let mut state = !matches!(first_write, MarchOp::W0);
             let mut ops = vec![first_write];
             for _ in 0..rng.gen_range(0..4usize) {

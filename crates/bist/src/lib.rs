@@ -40,6 +40,11 @@
 //! # Ok::<(), bisram_mem::OrgError>(())
 //! ```
 
+// The field lifetime engine runs BIST sessions in a loop that must not
+// abort; library code keeps its fallible paths panic-free (documented
+// `# Panics` invariants excepted) and CI enforces it with `-D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod addgen;
 pub mod coverage;
 pub mod datagen;

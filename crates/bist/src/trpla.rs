@@ -888,10 +888,12 @@ mod tests {
 
     #[test]
     fn control_word_bits_roundtrip() {
-        let mut c = ControlWord::default();
-        c.read = true;
-        c.capture = true;
-        c.done = true;
+        let c = ControlWord {
+            read: true,
+            capture: true,
+            done: true,
+            ..Default::default()
+        };
         let bits = c.to_bits();
         assert_eq!(ControlWord::from_bits(&bits), c);
     }

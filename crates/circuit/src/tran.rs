@@ -252,8 +252,8 @@ impl<'a> TransientSim<'a> {
         };
 
         // GMIN from every node to ground.
-        for k in 0..self.n_nodes {
-            a[k][k] += GMIN;
+        for (k, row) in a.iter_mut().enumerate().take(self.n_nodes) {
+            row[k] += GMIN;
         }
 
         let mut vsrc_row = self.n_nodes;
@@ -410,16 +410,19 @@ fn solve_dense(mut a: Vec<Vec<f64>>, rhs: &mut [f64]) -> Option<Vec<f64>> {
             a.swap(pivot, col);
             rhs.swap(pivot, col);
         }
-        let diag = a[col][col];
-        for row in (col + 1)..n {
-            let factor = a[row][col] / diag;
+        let (head, tail) = a.split_at_mut(col + 1);
+        let pivot_row = &head[col];
+        let diag = pivot_row[col];
+        let rhs_col = rhs[col];
+        for (off, row_vec) in tail.iter_mut().enumerate() {
+            let factor = row_vec[col] / diag;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (rv, pv) in row_vec[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *rv -= factor * *pv;
             }
-            rhs[row] -= factor * rhs[col];
+            rhs[col + 1 + off] -= factor * rhs_col;
         }
     }
     // Back substitution.

@@ -13,7 +13,31 @@ use bisram_circuit::campath::{self, TlbTiming};
 use bisram_circuit::elmore;
 use bisram_circuit::le::{self, GateType, Path};
 use bisram_circuit::snm::{self, CellGeometry};
+use bisram_field::{censored_mttf, simulate_fleet, FieldConfig};
 use bisram_layout::leaf;
+use bisram_yield::reliability::ReliabilityModel;
+
+/// Lifetime figures for the datasheet's reliability section: the
+/// analytic §VIII model next to a seeded in-field simulation of the same
+/// array ([`bisram_field`]), both censored to the same horizon so the
+/// two MTTF figures are directly comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilitySheet {
+    /// Per-bit failure rate assumed, failures per hour.
+    pub lambda_per_hour: f64,
+    /// Horizon both figures are censored to, hours.
+    pub horizon_hours: f64,
+    /// MTTF from the closed-form `R(t)`, integrated over the session
+    /// grid up to the horizon.
+    pub analytic_mttf_hours: f64,
+    /// MTTF from `lifetimes` simulated in-field lifetimes (periodic
+    /// transparent test-and-repair sessions), same grid and censoring.
+    pub simulated_mttf_hours: f64,
+    /// Lifetimes simulated.
+    pub lifetimes: usize,
+    /// Of those, how many failed inside the horizon.
+    pub deaths: usize,
+}
 
 /// The extrapolated electrical datasheet of a compiled RAM.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +63,10 @@ pub struct Datasheet {
     pub hold_snm_v: f64,
     /// Read static noise margin of the 6T cell, volts.
     pub read_snm_v: f64,
+    /// Lifetime section, filled in by
+    /// [`Datasheet::with_simulated_reliability`]; `None` in the plain
+    /// extrapolated sheet (the simulation costs real compute).
+    pub reliability: Option<ReliabilitySheet>,
 }
 
 impl Datasheet {
@@ -130,7 +158,54 @@ impl Datasheet {
             vdd: dev.vdd,
             hold_snm_v: margins.hold_snm,
             read_snm_v: margins.read_snm,
+            reliability: None,
         }
+    }
+
+    /// Fills the reliability section by running `lifetimes` seeded
+    /// in-field simulations of this array next to the analytic model.
+    ///
+    /// The horizon is set to twice the row-failure time constant divided
+    /// by the row count (the scale on which `R(t)` actually decays) and
+    /// split into twelve maintenance sessions; both MTTF figures are
+    /// censored to that horizon so they stay comparable. Small `lifetimes`
+    /// counts (tens) give figure-of-merit accuracy in milliseconds; the
+    /// full cross-validation lives in `bisram-field`'s test suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lambda_per_hour` is not a positive finite rate or
+    /// `lifetimes` is zero.
+    pub fn with_simulated_reliability(
+        mut self,
+        params: &RamParams,
+        lambda_per_hour: f64,
+        lifetimes: usize,
+        seed: u64,
+    ) -> Datasheet {
+        assert!(
+            lambda_per_hour.is_finite() && lambda_per_hour > 0.0,
+            "failure rate must be positive and finite"
+        );
+        let org = *params.org();
+        let model = ReliabilityModel {
+            org,
+            lambda_per_hour,
+        };
+        let tau_row = 1.0 / (lambda_per_hour * org.columns() as f64);
+        let horizon_hours = 2.0 * tau_row / org.rows() as f64 * (1.0 + org.spare_rows() as f64);
+        let config = FieldConfig::new(org, lambda_per_hour, horizon_hours / 12.0, horizon_hours);
+        let fleet = simulate_fleet(&config, lifetimes, seed);
+        let analytic = model.sample(&config.session_times());
+        self.reliability = Some(ReliabilitySheet {
+            lambda_per_hour,
+            horizon_hours,
+            analytic_mttf_hours: censored_mttf(&analytic),
+            simulated_mttf_hours: fleet.mttf_hours,
+            lifetimes,
+            deaths: fleet.deaths,
+        });
+        self
     }
 }
 
@@ -149,7 +224,20 @@ impl std::fmt::Display for Datasheet {
         writeln!(f, "standby power : {:8.4} mW", self.standby_power_w * 1e3)?;
         writeln!(f, "supply        : {:8.2} V", self.vdd)?;
         writeln!(f, "hold SNM      : {:8.2} V", self.hold_snm_v)?;
-        writeln!(f, "read SNM      : {:8.2} V", self.read_snm_v)
+        writeln!(f, "read SNM      : {:8.2} V", self.read_snm_v)?;
+        if let Some(r) = &self.reliability {
+            writeln!(
+                f,
+                "MTTF (model)  : {:8.0} h  (lambda = {:.1e}/h, censored at {:.0} h)",
+                r.analytic_mttf_hours, r.lambda_per_hour, r.horizon_hours
+            )?;
+            writeln!(
+                f,
+                "MTTF (simul.) : {:8.0} h  ({} lifetimes, {} failed in-horizon)",
+                r.simulated_mttf_hours, r.lifetimes, r.deaths
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -236,6 +324,34 @@ mod tests {
             assert!(d.read_snm_v > 0.1, "{}: read SNM {:.3}", p.name(), d.read_snm_v);
             assert!(d.hold_snm_v > d.read_snm_v);
         }
+    }
+
+    #[test]
+    fn simulated_reliability_section_tracks_the_analytic_model() {
+        let p = params(256, 4, 4);
+        let d = Datasheet::extrapolate(&p);
+        assert!(d.reliability.is_none(), "plain sheet carries no lifetime section");
+        let d = d.with_simulated_reliability(&p, 1e-9, 24, 0xD5);
+        let r = d.reliability.as_ref().expect("section filled in");
+        assert!(r.analytic_mttf_hours > 0.0 && r.simulated_mttf_hours > 0.0);
+        assert!(r.simulated_mttf_hours <= r.horizon_hours);
+        // Two dozen lifetimes give a figure of merit, not a validation —
+        // but it must land on the analytic value's order of magnitude.
+        let ratio = r.simulated_mttf_hours / r.analytic_mttf_hours;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "simulated {:.0} h vs analytic {:.0} h",
+            r.simulated_mttf_hours,
+            r.analytic_mttf_hours
+        );
+        assert_eq!(r.lifetimes, 24);
+        assert!(r.deaths <= 24);
+        let s = d.to_string();
+        assert!(s.contains("MTTF (model)"), "{s}");
+        assert!(s.contains("MTTF (simul.)"), "{s}");
+        // Deterministic: same seed, same sheet.
+        let again = Datasheet::extrapolate(&p).with_simulated_reliability(&p, 1e-9, 24, 0xD5);
+        assert_eq!(d, again);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod overhead;
 mod params;
 
 pub use compiler::{compile, CompileError, CompiledRam};
-pub use datasheet::Datasheet;
+pub use datasheet::{Datasheet, ReliabilitySheet};
 pub use overhead::{overhead_row, OverheadRow};
 pub use params::{ParamError, RamParams, RamParamsBuilder};
 
@@ -50,6 +50,7 @@ pub use params::{ParamError, RamParams, RamParamsBuilder};
 // presents itself as a single entry point.
 pub use bisram_bist as bist;
 pub use bisram_circuit as circuit;
+pub use bisram_field as field;
 pub use bisram_geom as geom;
 pub use bisram_layout as layout;
 pub use bisram_mem as mem;

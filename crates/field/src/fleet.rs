@@ -1,0 +1,151 @@
+//! Fleets of seeded lifetimes → empirical survival curves and MTTF.
+
+use crate::sim::{simulate_lifetime, FailureCause, FieldConfig};
+use bisram_yield::reliability::SurvivalCurve;
+
+/// Aggregate of `N` independent simulated lifetimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Empirical survival curve `R̂(t)` on the session grid.
+    pub curve: SurvivalCurve,
+    /// Grid-censored MTTF, hours (see [`censored_mttf`]): a lower bound
+    /// whenever any lifetime outlives the horizon.
+    pub mttf_hours: f64,
+    /// Lifetimes simulated.
+    pub lifetimes: usize,
+    /// Lifetimes that failed (or degraded) inside the horizon.
+    pub deaths: usize,
+    /// Deaths whose first cause was a faulty spare row.
+    pub deaths_spare_fault: usize,
+    /// Deaths whose first cause was spare exhaustion.
+    pub deaths_exhausted: usize,
+    /// Deaths whose first cause was non-converging repair.
+    pub deaths_persist: usize,
+    /// Maintenance sessions that ran across the whole fleet.
+    pub sessions_run: u64,
+    /// Quiet sessions skipped across the whole fleet.
+    pub sessions_skipped: u64,
+    /// Soft-upset alarms dismissed across the whole fleet.
+    pub transients_dismissed: u64,
+    /// Rows successfully remapped across the whole fleet.
+    pub rows_repaired: u64,
+}
+
+/// Runs `lifetimes` seeded lifetimes and aggregates them.
+///
+/// Per-lifetime seeds are derived from `base_seed` by mixing in the
+/// lifetime index with a golden-ratio multiply, so fleets are
+/// reproducible (same `base_seed` ⇒ same fleet, byte for byte) yet the
+/// individual streams are decorrelated.
+///
+/// # Panics
+///
+/// Panics when `lifetimes` is zero (a survival fraction needs a
+/// denominator).
+pub fn simulate_fleet(config: &FieldConfig, lifetimes: usize, base_seed: u64) -> FleetResult {
+    assert!(lifetimes > 0, "a fleet needs at least one lifetime");
+    let times = config.session_times();
+    let mut alive = vec![0usize; times.len()];
+    let mut result = FleetResult {
+        curve: SurvivalCurve::new(Vec::new(), Vec::new()),
+        mttf_hours: 0.0,
+        lifetimes,
+        deaths: 0,
+        deaths_spare_fault: 0,
+        deaths_exhausted: 0,
+        deaths_persist: 0,
+        sessions_run: 0,
+        sessions_skipped: 0,
+        transients_dismissed: 0,
+        rows_repaired: 0,
+    };
+    for i in 0..lifetimes {
+        let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let out = simulate_lifetime(config, seed);
+        for (j, &t) in times.iter().enumerate() {
+            if out.alive_at(t) {
+                alive[j] += 1;
+            }
+        }
+        if out.failure_time_hours.is_some() {
+            result.deaths += 1;
+        }
+        match out.failure_cause {
+            Some(FailureCause::SpareFault) => result.deaths_spare_fault += 1,
+            Some(FailureCause::SparesExhausted) => result.deaths_exhausted += 1,
+            Some(FailureCause::FaultsPersist) => result.deaths_persist += 1,
+            None => {}
+        }
+        result.sessions_run += out.sessions_run as u64;
+        result.sessions_skipped += out.sessions_skipped as u64;
+        result.transients_dismissed += out.transients_dismissed as u64;
+        result.rows_repaired += out.rows_repaired as u64;
+    }
+    let survival: Vec<f64> = alive.iter().map(|&a| a as f64 / lifetimes as f64).collect();
+    result.curve = SurvivalCurve::new(times, survival);
+    result.mttf_hours = censored_mttf(&result.curve);
+    result
+}
+
+/// Trapezoidal `∫R dt` over the curve's grid, anchored at `R(0) = 1`,
+/// truncated at the last grid point — an MTTF lower bound under
+/// censoring. Works on analytic samples too, which makes empirical and
+/// analytic MTTF comparable on the same grid.
+///
+/// Returns 0 for an empty curve.
+pub fn censored_mttf(curve: &SurvivalCurve) -> f64 {
+    let mut acc = 0.0;
+    let mut prev_t = 0.0;
+    let mut prev_r = 1.0;
+    for (&t, &r) in curve.times_hours.iter().zip(curve.survival.iter()) {
+        acc += 0.5 * (prev_r + r) * (t - prev_t);
+        prev_t = t;
+        prev_r = r;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_mem::ArrayOrg;
+
+    fn config(spares: usize) -> FieldConfig {
+        let org = ArrayOrg::new(32, 2, 2, spares).expect("valid test geometry");
+        FieldConfig::new(org, 9.0e-7, 10_000.0, 120_000.0)
+    }
+
+    #[test]
+    fn fleet_is_reproducible_and_monotone() {
+        let cfg = config(4);
+        let a = simulate_fleet(&cfg, 64, 0xF1EE7);
+        let b = simulate_fleet(&cfg, 64, 0xF1EE7);
+        assert_eq!(a, b);
+        assert!(a
+            .curve
+            .survival
+            .windows(2)
+            .all(|w| w[0] >= w[1]), "survival never increases: {:?}", a.curve.survival);
+        assert!(a.curve.survival.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert_eq!(a.lifetimes, 64);
+        assert!(a.deaths <= a.lifetimes);
+    }
+
+    #[test]
+    fn censored_mttf_of_constant_one_is_the_horizon() {
+        let curve = SurvivalCurve::new(vec![10.0, 20.0, 30.0], vec![1.0, 1.0, 1.0]);
+        assert!((censored_mttf(&curve) - 30.0).abs() < 1e-12);
+        let empty = SurvivalCurve::new(Vec::new(), Vec::new());
+        assert_eq!(censored_mttf(&empty), 0.0);
+    }
+
+    #[test]
+    fn immortal_fleet_survives_everywhere() {
+        let mut cfg = config(2);
+        cfg.lambda_per_hour = 0.0;
+        let fleet = simulate_fleet(&cfg, 8, 1);
+        assert_eq!(fleet.deaths, 0);
+        assert!(fleet.curve.survival.iter().all(|&r| r == 1.0));
+        assert!((fleet.mttf_hours - cfg.horizon_hours).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! In-field operational-lifetime simulation for BISR'ed SRAMs.
+//!
+//! The analytic survivability model of paper §VIII ([`bisram_yield`]'s
+//! `ReliabilityModel`) predicts `R(t)` from a constant per-bit failure
+//! rate and the row-repair granularity. This crate *simulates* the same
+//! scenario event by event against the live behavioural machinery:
+//!
+//! * latent defects arrive on physical rows at exponentially distributed
+//!   times ([`bisram_mem::SramModel::stage_fault`]),
+//! * a maintenance controller wakes up every `session_period_hours` and
+//!   runs a *transparent* BIST session (Kebichi–Nicolaidis signature
+//!   screen, [`bisram_bist::transparent`]) that preserves user data,
+//! * signature alarms are retried a bounded number of times to separate
+//!   soft upsets from hard faults, then diagnosed word-exactly and
+//!   repaired incrementally through the TLB
+//!   ([`bisram_repair::flow::incremental_repair`]),
+//! * when the spares run out the device degrades gracefully into a
+//!   detect-only mode with an unrepairable-region map — it never panics.
+//!
+//! [`simulate_fleet`] runs `N` seeded lifetimes and aggregates them into
+//! an empirical survival curve `R̂(t)` plus a (grid-censored) MTTF, the
+//! shape [`bisram_yield::reliability`] compares against its closed form.
+//! Under the [`SparePolicy::Pessimistic`] accounting the two agree at
+//! every session instant up to Monte-Carlo noise, reproducing Fig. 5's
+//! early-life spare-count crossover from the simulator side.
+
+// The whole point of this crate is running unattended for a simulated
+// device lifetime: fallible paths return data, they do not unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+mod fleet;
+mod sim;
+
+pub use fleet::{censored_mttf, simulate_fleet, FleetResult};
+pub use sim::{
+    simulate_lifetime, DegradationState, FailureCause, FieldConfig, FieldEvent, LifetimeOutcome,
+    SparePolicy,
+};

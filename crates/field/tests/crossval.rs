@@ -1,0 +1,131 @@
+//! Cross-validation of the event-driven lifetime simulator against the
+//! analytic reliability model of paper §VIII.
+//!
+//! Under the pessimistic spare policy the simulator's death condition at
+//! a session instant `t_k` is *exactly* the analytic one — more regular
+//! rows failed than spares, or any spare failed — because a stuck-at
+//! arrival in `(t_{k−1}, t_k]` is always caught by session `k`'s screen
+//! (MATS+ reads every cell against both data values). What remains is
+//! pure Monte-Carlo noise, so `R̂(t)` from a few thousand lifetimes must
+//! sit within a few percent of `R(t)` at every grid point, and the
+//! early-life spare-count crossover of Fig. 5 must appear empirically.
+
+use std::sync::OnceLock;
+
+use bisram_field::{censored_mttf, simulate_fleet, FieldConfig, FleetResult};
+use bisram_mem::ArrayOrg;
+use bisram_yield::reliability::{crossover_time, ReliabilityModel};
+
+const LIFETIMES: usize = 2500;
+const BASE_SEED: u64 = 0x0F1E_1D00;
+const MAX_ABS_ERROR: f64 = 0.03;
+
+/// The s=2 and s=8 fleets, simulated once and shared by every test in
+/// this binary (they are deterministic, so sharing changes nothing but
+/// wall-clock).
+fn fleet(spares: usize) -> &'static FleetResult {
+    static FLEET_2: OnceLock<FleetResult> = OnceLock::new();
+    static FLEET_8: OnceLock<FleetResult> = OnceLock::new();
+    let cell = match spares {
+        2 => &FLEET_2,
+        8 => &FLEET_8,
+        _ => unreachable!("only s=2 and s=8 are cross-validated"),
+    };
+    cell.get_or_init(|| simulate_fleet(&config(spares), LIFETIMES, BASE_SEED))
+}
+
+/// 16 regular rows of 4 columns: small enough that thousands of debug
+/// lifetimes finish in seconds, large enough that exhaustion and spare
+/// faults both matter.
+fn config(spares: usize) -> FieldConfig {
+    let org = ArrayOrg::new(32, 2, 2, spares).expect("valid geometry");
+    // F(horizon) = 1 − e^{−9e-7·4·120000} ≈ 0.35, past the s=2 / s=8
+    // analytic crossover (which sits near F ≈ 0.29).
+    FieldConfig::new(org, 9.0e-7, 10_000.0, 120_000.0)
+}
+
+fn model(cfg: &FieldConfig) -> ReliabilityModel {
+    ReliabilityModel {
+        org: cfg.org,
+        lambda_per_hour: cfg.lambda_per_hour,
+    }
+}
+
+#[test]
+fn empirical_survival_matches_analytic_for_two_spares() {
+    let cfg = config(2);
+    let cmp = model(&cfg)
+        .compare(&fleet(2).curve)
+        .expect("non-empty session grid");
+    assert!(
+        cmp.max_abs_error < MAX_ABS_ERROR,
+        "s=2: max |R̂−R| = {:.4} at t = {} h over {} points",
+        cmp.max_abs_error,
+        cmp.worst_time_hours,
+        cmp.points
+    );
+}
+
+#[test]
+fn empirical_survival_matches_analytic_for_eight_spares() {
+    let cfg = config(8);
+    let cmp = model(&cfg)
+        .compare(&fleet(8).curve)
+        .expect("non-empty session grid");
+    assert!(
+        cmp.max_abs_error < MAX_ABS_ERROR,
+        "s=8: max |R̂−R| = {:.4} at t = {} h over {} points",
+        cmp.max_abs_error,
+        cmp.worst_time_hours,
+        cmp.points
+    );
+}
+
+#[test]
+fn empirical_curves_reproduce_the_spare_count_crossover() {
+    let few = fleet(2);
+    let many = fleet(8);
+
+    // The analytic curves cross on this grid…
+    let cfg = config(2);
+    let grid = cfg.session_times();
+    let analytic_few = model(&config(2)).sample(&grid);
+    let analytic_many = model(&config(8)).sample(&grid);
+    let analytic_cross =
+        crossover_time(&analytic_few, &analytic_many).expect("analytic curves cross in-horizon");
+
+    // …and so do the empirical ones, in the same region. Lifetime seeds
+    // are shared between the two fleets, so the regular-row fault
+    // histories coincide (common random numbers) and the crossover is
+    // not washed out by independent noise.
+    let empirical_cross =
+        crossover_time(&few.curve, &many.curve).expect("empirical curves cross in-horizon");
+    assert!(
+        (40_000.0..=120_000.0).contains(&empirical_cross),
+        "empirical crossover at {empirical_cross} h (analytic at {analytic_cross} h)"
+    );
+
+    // Before the crossover the extra spares hurt: R̂ for s=8 sits below
+    // R̂ for s=2 at the first session.
+    assert!(
+        many.curve.survival[0] <= few.curve.survival[0],
+        "early life: 8 spares must not out-survive 2 ({} vs {})",
+        many.curve.survival[0],
+        few.curve.survival[0]
+    );
+}
+
+#[test]
+fn censored_mttf_matches_the_analytic_integral_on_the_grid() {
+    for spares in [2usize, 8] {
+        let cfg = config(spares);
+        let analytic = model(&cfg).sample(&cfg.session_times());
+        let expected = censored_mttf(&analytic);
+        let got = fleet(spares).mttf_hours;
+        let rel = (got - expected).abs() / expected;
+        assert!(
+            rel < 0.05,
+            "s={spares}: censored MTTF {got:.0} h vs analytic {expected:.0} h (rel {rel:.3})"
+        );
+    }
+}

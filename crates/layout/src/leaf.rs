@@ -49,6 +49,7 @@ impl<'a> Sketch<'a> {
             .add_shape(layer, Rect::new(x0 * l, y0 * l, x1 * l, y1 * l));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn port(
         &mut self,
         name: &str,

@@ -163,7 +163,7 @@ pub fn place_with_options(macros: Vec<Macro>, options: PlacerOptions) -> Placeme
     assert!(options.margin >= 0, "margin cannot be negative");
     let mut sorted = macros;
     // Decreasing area (paper §II).
-    sorted.sort_by(|a, b| b.cell.area().cmp(&a.cell.area()));
+    sorted.sort_by_key(|m| std::cmp::Reverse(m.cell.area()));
 
     let mut placed: Vec<PlacedMacro> = Vec::new();
     for m in sorted {
@@ -213,7 +213,7 @@ fn best_position(placed: &[PlacedMacro], m: &Macro, options: &PlacerOptions) -> 
             continue;
         }
         let score = score_position(placed, m, t, global, nb, options);
-        if best.as_ref().map_or(true, |(s, _)| score < *s) {
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
             best = Some((score, t));
         }
     }

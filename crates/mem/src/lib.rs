@@ -29,6 +29,11 @@
 //! # Ok::<(), bisram_mem::OrgError>(())
 //! ```
 
+// Out-of-range coordinates are documented `# Panics` invariants; all
+// other paths stay panic-free so lifetime simulations can drive the
+// model with arbitrary fault populations. Enforced by CI clippy.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod fault;
 mod inject;
 mod org;

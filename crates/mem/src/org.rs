@@ -104,7 +104,7 @@ impl ArrayOrg {
         if bpw == 0 || bpw > 256 {
             return Err(OrgError::BadWordWidth { bpw });
         }
-        if words == 0 || words % bpc != 0 {
+        if words == 0 || !words.is_multiple_of(bpc) {
             return Err(OrgError::WordsNotMultipleOfBpc { words, bpc });
         }
         let rows = words / bpc;

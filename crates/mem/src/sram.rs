@@ -52,6 +52,9 @@ pub struct SramModel {
     sense_last: Vec<bool>,
     /// Row-level address-decoder faults.
     row_faults: HashMap<usize, RowFault>,
+    /// Latent faults staged by a lifetime simulation but not yet active:
+    /// they have no behavioural effect until [`SramModel::activate_staged`].
+    staged: Vec<Fault>,
     stats: AccessStats,
 }
 
@@ -65,6 +68,7 @@ impl SramModel {
             by_aggressor: HashMap::new(),
             sense_last: vec![false; org.bpw()],
             row_faults: HashMap::new(),
+            staged: Vec::new(),
             stats: AccessStats::default(),
         }
     }
@@ -105,6 +109,46 @@ impl SramModel {
         for f in faults {
             self.inject(f);
         }
+    }
+
+    /// Stages a latent fault: the defect exists (an in-field wear-out
+    /// mechanism has struck the cell) but has no behavioural effect yet.
+    /// Lifetime simulations stage faults at their drawn arrival times and
+    /// activate them when simulated time passes those instants, so a
+    /// single model can carry the whole future fault population without
+    /// perturbing the present.
+    ///
+    /// Staged faults do not affect reads, writes, [`SramModel::faults`],
+    /// [`SramModel::faulty_rows`], or [`SramModel::is_fault_free`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim or aggressor cell index is out of range (same
+    /// contract as [`SramModel::inject`], checked eagerly so a bad arrival
+    /// is caught where it is created, not at activation).
+    pub fn stage_fault(&mut self, fault: Fault) {
+        assert!(fault.cell < self.org.total_cells(), "victim cell out of range");
+        if let Some(a) = fault.kind.aggressor() {
+            assert!(a < self.org.total_cells(), "aggressor cell out of range");
+        }
+        self.staged.push(fault);
+    }
+
+    /// The latent faults staged so far, in staging order.
+    pub fn staged_faults(&self) -> &[Fault] {
+        &self.staged
+    }
+
+    /// Activates every staged fault: each becomes a live injected fault
+    /// (a staged stuck-at corrupts its cell at this moment — activation
+    /// is when the data loss happens). Returns the activated faults in
+    /// staging order; the staged list is left empty.
+    pub fn activate_staged(&mut self) -> Vec<Fault> {
+        let activated = std::mem::take(&mut self.staged);
+        for f in &activated {
+            self.inject(*f);
+        }
+        activated
     }
 
     /// All injected faults, victim-ordered.
@@ -228,13 +272,11 @@ impl SramModel {
             Some(RowFault::NoAccess) => {
                 // No word line: the write is lost entirely.
                 self.stats.writes += 1;
-                return;
             }
             Some(RowFault::AliasedWith { other }) => {
                 // Both rows capture the data.
                 self.write_word_at_inner(row, col, data.clone());
                 self.write_word_at_inner(other, col, data);
-                return;
             }
             None => self.write_word_at_inner(row, col, data),
         }
@@ -606,5 +648,52 @@ mod tests {
     fn self_alias_rejected() {
         let mut m = small();
         m.inject_row_fault(1, RowFault::AliasedWith { other: 1 });
+    }
+
+    #[test]
+    fn staged_faults_are_latent_until_activation() {
+        let mut m = small();
+        let cell = m.org().cell_at(6, 0, 0);
+        let addr = m.org().join(6, 0);
+        m.write_word(addr, Word::from_u64(1, 8));
+
+        m.stage_fault(Fault::new(cell, FaultKind::StuckAt(false)));
+        // Latent: the memory still behaves perfectly.
+        assert!(m.is_fault_free());
+        assert!(m.faulty_rows().is_empty());
+        assert_eq!(m.read_word(addr).to_u64() & 1, 1);
+        assert_eq!(m.staged_faults().len(), 1);
+
+        // Activation is the moment of data loss.
+        let activated = m.activate_staged();
+        assert_eq!(activated, vec![Fault::new(cell, FaultKind::StuckAt(false))]);
+        assert!(m.staged_faults().is_empty());
+        assert!(!m.is_fault_free());
+        assert_eq!(m.faulty_rows(), vec![6]);
+        assert_eq!(m.read_word(addr).to_u64() & 1, 0);
+    }
+
+    #[test]
+    fn activation_preserves_staging_order_and_drains() {
+        let mut m = small();
+        let a = m.org().cell_at(1, 0, 0);
+        let b = m.org().cell_at(2, 0, 0);
+        m.stage_fault(Fault::new(b, FaultKind::TransitionUp));
+        m.stage_fault(Fault::new(a, FaultKind::StuckAt(true)));
+        let activated = m.activate_staged();
+        assert_eq!(activated.len(), 2);
+        assert_eq!(activated[0].cell, b, "staging order preserved");
+        assert_eq!(activated[1].cell, a);
+        // A second activation is a no-op.
+        assert!(m.activate_staged().is_empty());
+        assert_eq!(m.faults().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "victim cell out of range")]
+    fn stage_rejects_bad_cell_eagerly() {
+        let mut m = small();
+        let total = m.org().total_cells();
+        m.stage_fault(Fault::new(total, FaultKind::StuckAt(false)));
     }
 }

@@ -129,7 +129,7 @@ impl Word {
         assert!(run >= 1, "stripe run length must be at least 1");
         let mut w = Word::zeros(len);
         for i in 0..len {
-            let bit = ((i / run) % 2 == 0) == start;
+            let bit = (i / run).is_multiple_of(2) == start;
             w.set(i, bit);
         }
         w

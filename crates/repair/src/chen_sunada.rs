@@ -44,7 +44,7 @@ impl ChenSunadaConfig {
     /// Panics unless `words` divides evenly into `subblocks`.
     pub fn new(words: usize, subblocks: usize, spare_subblocks: usize) -> Self {
         assert!(
-            subblocks > 0 && words % subblocks == 0,
+            subblocks > 0 && words.is_multiple_of(subblocks),
             "words must split evenly into subblocks"
         );
         ChenSunadaConfig {

@@ -12,6 +12,7 @@
 
 use crate::tlb::Tlb;
 use bisram_bist::engine::{run_march, MarchConfig};
+use bisram_bist::RowMap;
 use bisram_bist::march::{self, MarchTest};
 use bisram_mem::SramModel;
 
@@ -51,15 +52,37 @@ impl RepairSetup {
 }
 
 /// Why a repair session failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Both variants carry the logical rows that were still faulty when the
+/// flow gave up, so callers (the yield simulator's diagnosis path, the
+/// in-field lifetime engine's unrepairable-region map) can act on the
+/// surviving addresses instead of only knowing a count.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UnrepairableReason {
     /// More faulty rows than free spares (at some pass).
     OutOfSpares {
         /// Rows that still needed mapping when the spares ran out.
         unmapped_rows: usize,
+        /// The logical rows left without a spare, in address order.
+        surviving_rows: Vec<usize>,
     },
     /// Mismatches persisted through the final allowed pass.
-    FaultsPersist,
+    FaultsPersist {
+        /// The logical rows still failing in the last pass, in address
+        /// order.
+        surviving_rows: Vec<usize>,
+    },
+}
+
+impl UnrepairableReason {
+    /// The logical rows still faulty when the flow gave up, regardless
+    /// of which way it failed.
+    pub fn surviving_rows(&self) -> &[usize] {
+        match self {
+            UnrepairableReason::OutOfSpares { surviving_rows, .. }
+            | UnrepairableReason::FaultsPersist { surviving_rows } => surviving_rows,
+        }
+    }
 }
 
 /// Outcome of a repair session.
@@ -161,7 +184,9 @@ pub fn self_test_and_repair(ram: &mut SramModel, setup: &RepairSetup) -> RepairR
         if passes == setup.max_passes {
             return RepairReport {
                 outcome: RepairOutcome::Unsuccessful {
-                    reason: UnrepairableReason::FaultsPersist,
+                    reason: UnrepairableReason::FaultsPersist {
+                        surviving_rows: verify.faulty_rows(),
+                    },
                 },
                 tlb,
                 passes,
@@ -182,9 +207,13 @@ pub fn self_test_and_repair(ram: &mut SramModel, setup: &RepairSetup) -> RepairR
         }
     }
 
+    // Only reachable with `max_passes == 1`: capture ran but no verify
+    // pass was allowed, so the pass-1 rows count as unverified survivors.
     RepairReport {
         outcome: RepairOutcome::Unsuccessful {
-            reason: UnrepairableReason::FaultsPersist,
+            reason: UnrepairableReason::FaultsPersist {
+                surviving_rows: pass1_faulty_rows.clone(),
+            },
         },
         tlb,
         passes,
@@ -198,10 +227,81 @@ fn capture_rows(tlb: &mut Tlb, rows: &[usize]) -> Result<(), UnrepairableReason>
         if tlb.capture(row).is_err() {
             return Err(UnrepairableReason::OutOfSpares {
                 unmapped_rows: rows.len() - i,
+                surviving_rows: rows[i..].to_vec(),
             });
         }
     }
     Ok(())
+}
+
+/// Result of an [`incremental_repair`] call: a total accounting of what
+/// happened to every requested row. There is no error type — the in-field
+/// repair engine must keep running whatever the fault pattern, so every
+/// outcome (mapped, spares exhausted, bogus address) is data, not a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IncrementalRepair {
+    /// `(logical_row, spare_index)` pairs successfully mapped this call,
+    /// in request order.
+    pub mapped: Vec<(usize, usize)>,
+    /// Rows left unmapped because the spares ran out, in request order.
+    pub unmapped: Vec<usize>,
+    /// Rows rejected as not regular-array addresses (caller bug or
+    /// corrupted detection bookkeeping), in request order.
+    pub invalid: Vec<usize>,
+    /// Words copied from old physical locations into the new spares.
+    pub copied_words: usize,
+}
+
+impl IncrementalRepair {
+    /// True when every valid requested row got a spare.
+    pub fn fully_mapped(&self) -> bool {
+        self.unmapped.is_empty()
+    }
+}
+
+/// Maps freshly detected faulty rows onto spares *without* a full
+/// test-and-repair session, preserving user data.
+///
+/// This is the in-field counterpart of [`self_test_and_repair`]: the
+/// manufacturing flow may scramble contents because nothing is stored
+/// yet, but a repair performed mid-lifetime must carry the live data
+/// across. For each row, the words at its current physical location
+/// (`tlb.map_row(row)` *before* the new capture — which may already be a
+/// spare if this row was repaired once before) are copied into the newly
+/// assigned spare, then the TLB entry is added so subsequent accesses
+/// divert. Bits held by already-dead cells at the source are copied as
+/// read — a row repair cannot resurrect data a hard fault has destroyed,
+/// only stop the rot.
+///
+/// Rows that cannot be mapped are reported in the result rather than
+/// aborting the run: `unmapped` when spares are exhausted (the memory
+/// enters degraded mode but keeps serving its still-good rows) and
+/// `invalid` for addresses outside the regular array.
+pub fn incremental_repair(
+    ram: &mut SramModel,
+    tlb: &mut Tlb,
+    faulty_rows: &[usize],
+) -> IncrementalRepair {
+    let org = *ram.org();
+    let mut result = IncrementalRepair::default();
+    for &row in faulty_rows {
+        let source = tlb.map_row(row);
+        match tlb.capture(row) {
+            Ok(spare) => {
+                let dest = tlb.spare_row(spare);
+                for col in 0..org.bpc() {
+                    let word = ram.read_word_at(source, col);
+                    ram.write_word_at(dest, col, word);
+                    result.copied_words += 1;
+                }
+                result.mapped.push((row, spare));
+            }
+            Err(crate::TlbError::Exhausted { .. }) => result.unmapped.push(row),
+            Err(crate::TlbError::RowOutOfRange { .. }) => result.invalid.push(row),
+        }
+    }
+    result
 }
 
 #[cfg(test)]
@@ -264,7 +364,10 @@ mod tests {
         assert_eq!(
             report.outcome,
             RepairOutcome::Unsuccessful {
-                reason: UnrepairableReason::OutOfSpares { unmapped_rows: 1 }
+                reason: UnrepairableReason::OutOfSpares {
+                    unmapped_rows: 1,
+                    surviving_rows: vec![3],
+                }
             }
         );
     }
@@ -289,7 +392,9 @@ mod tests {
         assert_eq!(
             two_pass.outcome,
             RepairOutcome::Unsuccessful {
-                reason: UnrepairableReason::FaultsPersist
+                reason: UnrepairableReason::FaultsPersist {
+                    surviving_rows: vec![5],
+                }
             }
         );
 
@@ -316,12 +421,15 @@ mod tests {
             FaultKind::StuckAt(true),
         ));
         let report = self_test_and_repair(&mut ram, &RepairSetup::iterated(6));
-        assert!(matches!(
-            report.outcome,
+        match report.outcome {
             RepairOutcome::Unsuccessful {
-                reason: UnrepairableReason::OutOfSpares { .. }
+                reason: reason @ UnrepairableReason::OutOfSpares { .. },
+            } => {
+                // Row 7 is the survivor: both spares burned, still faulty.
+                assert_eq!(reason.surviving_rows(), &[7]);
             }
-        ));
+            other => panic!("expected OutOfSpares, got {other:?}"),
+        }
     }
 
     #[test]
@@ -330,9 +438,105 @@ mod tests {
         assert!(!RepairOutcome::AlreadyGood.is_repaired());
         assert!(RepairOutcome::Repaired { spares_used: 1 }.is_repaired());
         assert!(!RepairOutcome::Unsuccessful {
-            reason: UnrepairableReason::FaultsPersist
+            reason: UnrepairableReason::FaultsPersist {
+                surviving_rows: vec![0],
+            }
         }
         .is_usable());
+    }
+
+    #[test]
+    fn surviving_rows_accessor_covers_both_variants() {
+        let oos = UnrepairableReason::OutOfSpares {
+            unmapped_rows: 2,
+            surviving_rows: vec![4, 9],
+        };
+        assert_eq!(oos.surviving_rows(), &[4, 9]);
+        let fp = UnrepairableReason::FaultsPersist {
+            surviving_rows: vec![1],
+        };
+        assert_eq!(fp.surviving_rows(), &[1]);
+    }
+
+    #[test]
+    fn incremental_repair_preserves_user_data() {
+        let o = org(4);
+        let mut ram = SramModel::new(o);
+        // Fill the regular array with a recognisable pattern.
+        for row in 0..o.rows() {
+            for col in 0..o.bpc() {
+                let value = ((row * o.bpc() + col) & 0xFF) as u64;
+                ram.write_word_at(row, col, Word::from_u64(value, o.bpw()));
+            }
+        }
+        // Row 11 develops a stuck-at fault on one bit mid-life.
+        ram.inject(Fault::new(o.cell_at(11, 2, 0), FaultKind::StuckAt(false)));
+
+        let mut tlb = Tlb::new(o.rows(), o.spare_rows());
+        let result = incremental_repair(&mut ram, &mut tlb, &[11]);
+        assert_eq!(result.mapped, vec![(11, 0)]);
+        assert!(result.fully_mapped());
+        assert!(result.invalid.is_empty());
+        assert_eq!(result.copied_words, o.bpc());
+
+        // Every word of row 11 now reads back through the map with its
+        // original value (the stuck bit happened to already match the
+        // stored data pattern's 0 at that position or was copied as-is;
+        // use a column whose data is unaffected to check preservation).
+        let phys = tlb.map_row(11);
+        assert_eq!(phys, o.rows(), "row must divert to spare 0");
+        for col in 0..o.bpc() {
+            let expect = ((11 * o.bpc() + col) & 0xFF) as u64;
+            let got = ram.read_word_at(phys, col).to_u64();
+            if col != 2 {
+                assert_eq!(got, expect, "col {col} must survive the repair");
+            }
+        }
+        // Other rows untouched.
+        assert_eq!(ram.read_word_at(5, 1).to_u64(), (5 * o.bpc() + 1) as u64);
+    }
+
+    #[test]
+    fn incremental_repair_chains_through_previous_spare() {
+        // A row repaired once whose spare later dies must copy from the
+        // spare (its live location), not from the long-dead regular row.
+        let o = org(4);
+        let mut ram = SramModel::new(o);
+        let mut tlb = Tlb::new(o.rows(), o.spare_rows());
+
+        let first = incremental_repair(&mut ram, &mut tlb, &[20]);
+        assert_eq!(first.mapped, vec![(20, 0)]);
+        // User writes new data through the map after the first repair.
+        let phys0 = tlb.map_row(20);
+        ram.write_word_at(phys0, 3, Word::from_u64(0xAB, o.bpw()));
+
+        let second = incremental_repair(&mut ram, &mut tlb, &[20]);
+        assert_eq!(second.mapped, vec![(20, 1)]);
+        let phys1 = tlb.map_row(20);
+        assert_eq!(phys1, o.rows() + 1);
+        assert_eq!(
+            ram.read_word_at(phys1, 3).to_u64(),
+            0xAB,
+            "post-repair writes must survive the second migration"
+        );
+    }
+
+    #[test]
+    fn incremental_repair_degrades_without_panicking() {
+        let o = org(1);
+        let mut ram = SramModel::new(o);
+        let mut tlb = Tlb::new(o.rows(), o.spare_rows());
+        // Two faulty rows, one spare, plus a bogus address: everything is
+        // accounted for, nothing aborts.
+        let result = incremental_repair(&mut ram, &mut tlb, &[8, 40, 9999]);
+        assert_eq!(result.mapped, vec![(8, 0)]);
+        assert_eq!(result.unmapped, vec![40]);
+        assert_eq!(result.invalid, vec![9999]);
+        assert!(!result.fully_mapped());
+        // The memory still serves: mapped row diverted, unmapped row
+        // passes through.
+        assert_eq!(tlb.map_row(8), o.rows());
+        assert_eq!(tlb.map_row(40), 40);
     }
 
     #[test]

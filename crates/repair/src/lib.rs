@@ -39,6 +39,12 @@
 //! # Ok::<(), bisram_mem::OrgError>(())
 //! ```
 
+// Library code must stay panic-free on its fallible paths: the in-field
+// lifetime engine drives this crate with arbitrary fault patterns and
+// has to keep running. Intentional invariants are documented `# Panics`
+// sections; casual unwraps are lint errors under `-D warnings` in CI.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod chen_sunada;
 pub mod column;
 pub mod flow;

@@ -2,16 +2,41 @@
 
 use bisram_bist::RowMap;
 
-/// Error raised when capturing into a full TLB.
+/// Error raised by [`Tlb::capture`].
+///
+/// Capturing is the one TLB operation that can fail at run time, and an
+/// in-field repair engine must survive both failure modes without
+/// aborting: spare exhaustion is an expected end-of-life event, and a
+/// row address outside the regular array is a caller bug that should be
+/// reported, not turned into a panic mid-simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TlbError {
-    /// Number of spares the TLB manages (all in use).
-    pub spares: usize,
+pub enum TlbError {
+    /// Every spare row is already assigned.
+    Exhausted {
+        /// Number of spares the TLB manages (all in use).
+        spares: usize,
+    },
+    /// The row address is not a regular-array row (spare-region and
+    /// beyond-array addresses cannot be captured).
+    RowOutOfRange {
+        /// Offending row address.
+        row: usize,
+        /// Number of regular rows the TLB serves.
+        regular_rows: usize,
+    },
 }
 
 impl std::fmt::Display for TlbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "all {} spare rows are already assigned", self.spares)
+        match self {
+            TlbError::Exhausted { spares } => {
+                write!(f, "all {spares} spare rows are already assigned")
+            }
+            TlbError::RowOutOfRange { row, regular_rows } => write!(
+                f,
+                "row {row} is outside the regular array (0..{regular_rows})"
+            ),
+        }
     }
 }
 
@@ -94,15 +119,20 @@ impl Tlb {
     ///
     /// # Errors
     ///
-    /// [`TlbError`] when every spare is already assigned.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `row` is not a regular row address.
+    /// [`TlbError::Exhausted`] when every spare is already assigned;
+    /// [`TlbError::RowOutOfRange`] when `row` is not a regular row
+    /// address. Neither condition panics — a lifetime simulation feeding
+    /// fuzzed fault patterns through the repair flow must be able to log
+    /// the failure and continue.
     pub fn capture(&mut self, row: usize) -> Result<usize, TlbError> {
-        assert!(row < self.regular_rows, "captured row out of range");
+        if row >= self.regular_rows {
+            return Err(TlbError::RowOutOfRange {
+                row,
+                regular_rows: self.regular_rows,
+            });
+        }
         if self.entries.len() >= self.spares {
-            return Err(TlbError { spares: self.spares });
+            return Err(TlbError::Exhausted { spares: self.spares });
         }
         self.entries.push(row);
         Ok(self.entries.len() - 1)
@@ -150,7 +180,7 @@ mod tests {
         let mut tlb = Tlb::new(64, 4);
         let mut last = None;
         for row in [10, 3, 50] {
-            let spare = tlb.capture(row).unwrap();
+            let spare = tlb.capture(row).expect("spares available");
             if let Some(prev) = last {
                 assert!(spare > prev, "spare sequence must strictly increase");
             }
@@ -163,19 +193,51 @@ mod tests {
     #[test]
     fn exhaustion_reports_error() {
         let mut tlb = Tlb::new(64, 2);
-        tlb.capture(1).unwrap();
-        tlb.capture(2).unwrap();
-        let err = tlb.capture(3).unwrap_err();
-        assert_eq!(err, TlbError { spares: 2 });
+        tlb.capture(1).expect("spare 0 free");
+        tlb.capture(2).expect("spare 1 free");
+        let err = tlb.capture(3).expect_err("no spares left");
+        assert_eq!(err, TlbError::Exhausted { spares: 2 });
         assert!(err.to_string().contains('2'));
+        // The failed capture changed nothing.
+        assert_eq!(tlb.used(), 2);
+        assert_eq!(tlb.map_row(3), 3);
+    }
+
+    #[test]
+    fn out_of_range_capture_is_a_typed_error_not_a_panic() {
+        let mut tlb = Tlb::new(64, 4);
+        let err = tlb.capture(64).expect_err("row 64 is the first spare");
+        assert_eq!(
+            err,
+            TlbError::RowOutOfRange {
+                row: 64,
+                regular_rows: 64
+            }
+        );
+        assert!(err.to_string().contains("64"));
+        // State untouched; in-range captures still work afterwards.
+        assert_eq!(tlb.used(), 0);
+        assert_eq!(tlb.capture(63), Ok(0));
+    }
+
+    #[test]
+    fn out_of_range_beats_exhaustion_in_diagnosis() {
+        // A full TLB fed a bad address reports the address problem, the
+        // more specific diagnosis.
+        let mut tlb = Tlb::new(4, 1);
+        tlb.capture(0).expect("spare 0 free");
+        assert!(matches!(
+            tlb.capture(9),
+            Err(TlbError::RowOutOfRange { row: 9, .. })
+        ));
     }
 
     #[test]
     fn recapture_moves_row_forward() {
         let mut tlb = Tlb::new(64, 4);
-        tlb.capture(7).unwrap();
+        tlb.capture(7).expect("spare 0 free");
         assert_eq!(tlb.map_row(7), 64);
-        tlb.capture(7).unwrap();
+        tlb.capture(7).expect("spare 1 free");
         assert_eq!(tlb.map_row(7), 65, "latest entry must win");
         // The stale entry still occupies spare 0 (hardware does not
         // reclaim), so capacity shrinks accordingly.
@@ -186,17 +248,10 @@ mod tests {
     #[test]
     fn entries_report_capture_order() {
         let mut tlb = Tlb::new(64, 4);
-        tlb.capture(9).unwrap();
-        tlb.capture(2).unwrap();
+        tlb.capture(9).expect("spare 0 free");
+        tlb.capture(2).expect("spare 1 free");
         let log: Vec<_> = tlb.entries().collect();
         assert_eq!(log, vec![(9, 0), (2, 1)]);
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn capture_rejects_spare_region_addresses() {
-        let mut tlb = Tlb::new(64, 4);
-        let _ = tlb.capture(64);
     }
 
     // Deterministic seeded sweeps over random capture sequences
@@ -211,12 +266,12 @@ mod tests {
                 .collect();
             let mut tlb = Tlb::new(100, 8);
             for &r in &rows {
-                tlb.capture(r).unwrap();
+                tlb.capture(r).expect("at most 7 captures into 8 spares");
             }
             for &r in &rows {
                 let m = tlb.map_row(r);
                 assert!(
-                    m >= 100 && m < 108,
+                    (100..108).contains(&m),
                     "case {case}: rows={rows:?} row {r} mapped to {m}"
                 );
             }
@@ -240,11 +295,31 @@ mod tests {
             }
             let mut tlb = Tlb::new(100, 8);
             for &r in &rows {
-                tlb.capture(r).unwrap();
+                tlb.capture(r).expect("at most 7 captures into 8 spares");
             }
             let mapped: std::collections::HashSet<_> =
                 rows.iter().map(|&r| tlb.map_row(r)).collect();
             assert_eq!(mapped.len(), rows.len(), "case {case}: rows={rows:?}");
+        }
+    }
+
+    #[test]
+    fn fuzzed_capture_sequences_never_panic() {
+        // The robustness contract behind the typed errors: ANY sequence
+        // of capture calls — in-range, out-of-range, past exhaustion —
+        // returns Ok or Err, never aborts, and leaves the map usable.
+        let mut rng = StdRng::seed_from_u64(0x71B_0003);
+        for _case in 0..256 {
+            let mut tlb = Tlb::new(32, rng.gen_range(0usize..4));
+            for _ in 0..rng.gen_range(0usize..12) {
+                let row = rng.gen_range(0usize..64); // half out of range
+                let _ = tlb.capture(row);
+            }
+            assert!(tlb.used() <= tlb.spares());
+            for row in 0..32 {
+                let m = tlb.map_row(row);
+                assert!(m < 32 + tlb.spares());
+            }
         }
     }
 }

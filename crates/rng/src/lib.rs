@@ -175,7 +175,7 @@ mod tests {
             let v = rng.gen_range(0.0..1.0);
             assert!((0.0..1.0).contains(&v));
             let w = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            assert!(w >= f64::MIN_POSITIVE && w < 1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&w));
             let u: f64 = rng.gen();
             assert!((0.0..1.0).contains(&u));
         }

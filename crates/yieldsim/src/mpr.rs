@@ -43,6 +43,7 @@ pub struct Microprocessor {
 }
 
 impl Microprocessor {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         name: &str,
         metal_layers: u8,

@@ -79,6 +79,113 @@ impl ReliabilityModel {
     }
 }
 
+/// A survival curve sampled on a time grid — the shape an empirical
+/// lifetime simulation produces (`R̂(t)` from N seeded lifetimes) and the
+/// shape the analytic model is sampled into for comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalCurve {
+    /// Sample times, in hours, strictly increasing.
+    pub times_hours: Vec<f64>,
+    /// Survival probability at each sample time.
+    pub survival: Vec<f64>,
+}
+
+impl SurvivalCurve {
+    /// Builds a curve from matching time/survival vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors disagree in length — a malformed curve is
+    /// a programming error at the producer, not a runtime condition.
+    pub fn new(times_hours: Vec<f64>, survival: Vec<f64>) -> Self {
+        assert_eq!(
+            times_hours.len(),
+            survival.len(),
+            "time grid and survival values must pair up"
+        );
+        SurvivalCurve {
+            times_hours,
+            survival,
+        }
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.times_hours.len()
+    }
+
+    /// True when the curve has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times_hours.is_empty()
+    }
+}
+
+/// Error statistics from comparing an empirical survival curve against
+/// the analytic model on the curve's own grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveComparison {
+    /// Largest absolute deviation `|R̂(t) − R(t)|` over the grid.
+    pub max_abs_error: f64,
+    /// Mean absolute deviation over the grid.
+    pub mean_abs_error: f64,
+    /// Grid points compared.
+    pub points: usize,
+    /// Sample time (hours) at which the largest deviation occurred.
+    pub worst_time_hours: f64,
+}
+
+impl ReliabilityModel {
+    /// Samples the analytic `R(t)` on an explicit time grid.
+    pub fn sample(&self, times_hours: &[f64]) -> SurvivalCurve {
+        let survival = times_hours.iter().map(|&t| self.reliability(t)).collect();
+        SurvivalCurve::new(times_hours.to_vec(), survival)
+    }
+
+    /// Compares an empirical curve against this model point-by-point on
+    /// the curve's grid. Returns `None` for an empty curve (no points ⇒
+    /// no error statistics), so callers decide how to treat degenerate
+    /// input instead of inheriting a panic.
+    pub fn compare(&self, empirical: &SurvivalCurve) -> Option<CurveComparison> {
+        if empirical.is_empty() {
+            return None;
+        }
+        let mut max_abs_error: f64 = 0.0;
+        let mut worst_time_hours = empirical.times_hours[0];
+        let mut sum = 0.0;
+        for (&t, &r_hat) in empirical.times_hours.iter().zip(&empirical.survival) {
+            let err = (r_hat - self.reliability(t)).abs();
+            sum += err;
+            if err > max_abs_error {
+                max_abs_error = err;
+                worst_time_hours = t;
+            }
+        }
+        Some(CurveComparison {
+            max_abs_error,
+            mean_abs_error: sum / empirical.len() as f64,
+            points: empirical.len(),
+            worst_time_hours,
+        })
+    }
+}
+
+/// First grid time at which curve `b` rises strictly above curve `a` —
+/// the empirical analogue of the paper's Fig. 5 spare-count crossover
+/// (call with `a` = fewer spares, `b` = more spares; before the
+/// crossover the extra spares *hurt* reliability). Both curves must be
+/// sampled on the same grid; `None` when they never cross or the grids
+/// differ.
+pub fn crossover_time(a: &SurvivalCurve, b: &SurvivalCurve) -> Option<f64> {
+    if a.times_hours != b.times_hours {
+        return None;
+    }
+    a.times_hours
+        .iter()
+        .zip(a.survival.iter().zip(&b.survival))
+        .find(|(_, (ra, rb))| rb > ra)
+        .map(|(&t, _)| t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +271,69 @@ mod tests {
     #[should_panic(expected = "cannot be negative")]
     fn negative_time_rejected() {
         ReliabilityModel::fig5(4).reliability(-1.0);
+    }
+
+    #[test]
+    fn sampling_matches_pointwise_evaluation() {
+        let m = ReliabilityModel::fig5(4);
+        let grid = [0.0, 10_000.0, 50_000.0, 200_000.0];
+        let curve = m.sample(&grid);
+        assert_eq!(curve.len(), 4);
+        for (&t, &r) in curve.times_hours.iter().zip(&curve.survival) {
+            assert_eq!(r, m.reliability(t));
+        }
+    }
+
+    #[test]
+    fn self_comparison_has_zero_error() {
+        let m = ReliabilityModel::fig5(2);
+        let grid: Vec<f64> = (0..10).map(|i| i as f64 * 25_000.0).collect();
+        let cmp = m.compare(&m.sample(&grid)).expect("non-empty curve");
+        assert_eq!(cmp.max_abs_error, 0.0);
+        assert_eq!(cmp.mean_abs_error, 0.0);
+        assert_eq!(cmp.points, 10);
+    }
+
+    #[test]
+    fn comparison_finds_the_worst_point() {
+        let m = ReliabilityModel::fig5(2);
+        let grid = vec![10_000.0, 50_000.0, 100_000.0];
+        let mut curve = m.sample(&grid);
+        curve.survival[1] += 0.05; // perturb the middle sample
+        let cmp = m.compare(&curve).expect("non-empty curve");
+        assert!((cmp.max_abs_error - 0.05).abs() < 1e-12);
+        assert_eq!(cmp.worst_time_hours, 50_000.0);
+        assert!(cmp.mean_abs_error > 0.0 && cmp.mean_abs_error < cmp.max_abs_error);
+    }
+
+    #[test]
+    fn empty_curve_comparison_is_none() {
+        let m = ReliabilityModel::fig5(2);
+        assert!(m.compare(&SurvivalCurve::new(vec![], vec![])).is_none());
+    }
+
+    #[test]
+    fn analytic_crossover_detected_on_sampled_curves() {
+        // The Fig. 5 crossover, rediscovered from sampled curves with
+        // the same helper the empirical validation uses.
+        let grid: Vec<f64> = (1..60).map(|i| i as f64 * 5_000.0).collect();
+        let c4 = ReliabilityModel::fig5(4).sample(&grid);
+        let c8 = ReliabilityModel::fig5(8).sample(&grid);
+        let t = crossover_time(&c4, &c8).expect("curves must cross on this grid");
+        assert!(
+            (35_000.0..140_000.0).contains(&t),
+            "crossover at {t} h is far from the paper's ~70 000 h"
+        );
+        // Before the crossover the 8-spare curve sits below.
+        let idx = grid.iter().position(|&g| g == t).expect("t is a grid point");
+        assert!(idx > 0);
+        assert!(c8.survival[idx - 1] <= c4.survival[idx - 1]);
+    }
+
+    #[test]
+    fn mismatched_grids_never_cross() {
+        let c4 = ReliabilityModel::fig5(4).sample(&[1_000.0, 2_000.0]);
+        let c8 = ReliabilityModel::fig5(8).sample(&[1_000.0, 3_000.0]);
+        assert!(crossover_time(&c4, &c8).is_none());
     }
 }

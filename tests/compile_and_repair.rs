@@ -140,7 +140,6 @@ fn address_decoder_faults_are_detected_and_row_repaired() {
     use bisram_mem::RowFault;
 
     let ram = compiled();
-    let org = *ram.params().org();
     let ifa13_setup = RepairSetup {
         test: march::ifa13(),
         ..RepairSetup::default()
