@@ -1,0 +1,111 @@
+//! Pipeline throughput: cold-vs-warm compile sweeps over the staged
+//! pipeline's content-keyed artifact cache.
+//!
+//! A six-point organization sweep is compiled twice: *cold* (a fresh
+//! [`CellCache`] per pass, so every stage artifact is rebuilt) and
+//! *warm* (a shared cache pre-populated by one prior pass, so an
+//! identical point resolves to five stage lookups). The report is
+//! compiles/sec for each mode plus the warm/cold speedup; the warm pass
+//! must be at least 2x the cold pass, and at least one cache hit must be
+//! observed even in smoke mode (`BISRAM_BENCH_SMOKE=1`), which is what
+//! CI asserts.
+
+use bisram_bench::harness::black_box;
+use bisram_bench::{banner, quick_harness};
+use bisramgen::{compile_with, CellCache, CompileOptions, RamParams};
+use std::sync::Arc;
+
+fn sweep_points() -> Vec<RamParams> {
+    let mut points = Vec::new();
+    for (words, bpw) in [
+        (1024, 8),
+        (1024, 16),
+        (2048, 8),
+        (2048, 16),
+        (4096, 8),
+        (4096, 16),
+    ] {
+        points.push(
+            RamParams::builder()
+                .words(words)
+                .bits_per_word(bpw)
+                .bits_per_column(4)
+                .spare_rows(4)
+                .build()
+                .expect("sweep point is valid"),
+        );
+    }
+    points
+}
+
+fn main() {
+    banner(
+        "pipeline_throughput",
+        "staged-compile throughput: cold vs cache-warm six-point sweep",
+    );
+    let smoke = std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let points = sweep_points();
+    let units = points.len() as u64;
+
+    // Pre-warm a dedicated cache with one full pass; the warm benchmark
+    // recompiles the identical sweep against it.
+    let warm_cache = Arc::new(CellCache::new());
+    let warm_options = CompileOptions::new().with_cache(Arc::clone(&warm_cache));
+    for p in &points {
+        compile_with(p, &warm_options).expect("warm-up compile succeeds");
+    }
+    println!(
+        "warm-up pass: {} artifacts cached ({} hits / {} misses during warm-up)",
+        warm_cache.len(),
+        warm_cache.hits(),
+        warm_cache.misses(),
+    );
+
+    let mut h = quick_harness();
+    h.bench_sweep("sweep_cold", units, |b| {
+        b.iter(|| {
+            let options = CompileOptions::cold();
+            for p in &points {
+                black_box(compile_with(p, &options).expect("cold compile succeeds"));
+            }
+        })
+    });
+    h.bench_sweep("sweep_warm", units, |b| {
+        b.iter(|| {
+            for p in &points {
+                black_box(compile_with(p, &warm_options).expect("warm compile succeeds"));
+            }
+        })
+    });
+
+    let cold = h.measurements().iter().find(|m| m.name == "sweep_cold");
+    let warm = h.measurements().iter().find(|m| m.name == "sweep_warm");
+    if let (Some(cold), Some(warm)) = (cold, warm) {
+        let speedup = cold.median / warm.median.max(1e-12);
+        println!(
+            "cold: {:.2} compiles/s   warm: {:.2} compiles/s   speedup: {:.1}x",
+            cold.per_second(),
+            warm.per_second(),
+            speedup,
+        );
+        assert!(
+            warm_cache.hits() >= 1,
+            "warm sweep recorded no cache hits: the content keys are broken"
+        );
+        println!(
+            "cache hits observed: {} (misses: {})",
+            warm_cache.hits(),
+            warm_cache.misses(),
+        );
+        if smoke {
+            println!("smoke mode: skipping the 2x speedup assertion (single-shot timing)");
+        } else {
+            assert!(
+                speedup >= 2.0,
+                "warm sweep must be at least 2x the cold sweep, measured {speedup:.2}x"
+            );
+        }
+    }
+
+    h.final_summary();
+}

@@ -32,6 +32,21 @@ pub struct Measurement {
     pub iters_per_sample: u64,
     /// Number of timed samples.
     pub samples: usize,
+    /// Work units processed by one iteration (1 for plain benchmarks;
+    /// the sweep-point count for [`Harness::bench_sweep`] groups).
+    pub units: u64,
+}
+
+impl Measurement {
+    /// Work units per second, from the median sample — e.g. compiles/sec
+    /// for a compile sweep.
+    pub fn per_second(&self) -> f64 {
+        if self.median <= 0.0 {
+            0.0
+        } else {
+            self.units as f64 / self.median
+        }
+    }
 }
 
 /// The harness: collects measurements from `bench_function` calls and
@@ -110,7 +125,31 @@ impl Harness {
     /// Times `f` (which must call [`Bencher::iter`] exactly once) and
     /// records the result. Skipped when a command-line filter is set and
     /// `name` does not contain it.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_units(name, 1, f)
+    }
+
+    /// Like [`Harness::bench_function`] for *sweep* bodies: one iteration
+    /// of the routine processes `units` work items (e.g. compiles every
+    /// point of a parameter sweep), and the report adds the resulting
+    /// throughput in units/sec. This is how cache-aware compile benches
+    /// compare cold vs warm sweeps on equal footing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn bench_sweep<F>(&mut self, name: &str, units: u64, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        assert!(units > 0, "a sweep processes at least one unit");
+        self.bench_with_units(name, units, f)
+    }
+
+    fn bench_with_units<F>(&mut self, name: &str, units: u64, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
@@ -137,16 +176,30 @@ impl Harness {
             max: stats.max,
             iters_per_sample: stats.iters_per_sample,
             samples: stats.samples,
+            units,
         };
-        println!(
-            "{:<32} time: [{} {} {}]  ({} samples x {} iters)",
-            m.name,
-            fmt_time(m.min),
-            fmt_time(m.median),
-            fmt_time(m.max),
-            m.samples,
-            m.iters_per_sample,
-        );
+        if units > 1 {
+            println!(
+                "{:<32} time: [{} {} {}]  ({} samples x {} iters, {:.2} units/s)",
+                m.name,
+                fmt_time(m.min),
+                fmt_time(m.median),
+                fmt_time(m.max),
+                m.samples,
+                m.iters_per_sample,
+                m.per_second(),
+            );
+        } else {
+            println!(
+                "{:<32} time: [{} {} {}]  ({} samples x {} iters)",
+                m.name,
+                fmt_time(m.min),
+                fmt_time(m.median),
+                fmt_time(m.max),
+                m.samples,
+                m.iters_per_sample,
+            );
+        }
         self.results.push(m);
         self
     }
@@ -164,7 +217,16 @@ impl Harness {
         }
         println!("\n---- timing summary (median per iteration) ----");
         for m in &self.results {
-            println!("{:<32} {}", m.name, fmt_time(m.median));
+            if m.units > 1 {
+                println!(
+                    "{:<32} {}  ({:.2} units/s)",
+                    m.name,
+                    fmt_time(m.median),
+                    m.per_second()
+                );
+            } else {
+                println!("{:<32} {}", m.name, fmt_time(m.median));
+            }
         }
     }
 }
@@ -334,6 +396,35 @@ mod tests {
         assert_eq!(m.iters_per_sample, 1);
         assert_eq!(m.samples, 1);
         assert_eq!(m.min, m.max);
+    }
+
+    #[test]
+    fn sweep_mode_reports_throughput_in_units() {
+        let mut h = tiny();
+        h.bench_sweep("sweep", 6, |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)))
+        });
+        let m = &h.measurements()[0];
+        assert_eq!(m.units, 6);
+        // 6 units over >=50 µs: throughput is finite and positive, and
+        // 6x the single-unit rate implied by the median.
+        let per_sec = m.per_second();
+        assert!(per_sec > 0.0 && per_sec.is_finite());
+        assert!((per_sec - 6.0 / m.median).abs() < 1e-6);
+        h.final_summary();
+    }
+
+    #[test]
+    fn plain_benchmarks_count_one_unit() {
+        let mut h = tiny();
+        h.bench_function("plain", |b| b.iter(|| black_box(1u64 + 1)));
+        assert_eq!(h.measurements()[0].units, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_unit_sweeps_are_rejected() {
+        tiny().bench_sweep("empty-sweep", 0, |b| b.iter(|| ()));
     }
 
     #[test]

@@ -413,7 +413,7 @@ fn emit_pass(instrs: &mut Vec<MicroInstr>, test: &MarchTest, pass: Pass) {
 }
 
 /// Ternary AND-plane entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tri {
     /// Input must be 1.
     One,
@@ -423,12 +423,61 @@ pub enum Tri {
     DontCare,
 }
 
+/// Errors from [`Pla::import_planes`] — the two-file control-code
+/// interchange is the one externally-writable input of the compiler, so
+/// its failures are typed rather than stringly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaneParseError {
+    /// A character outside the plane alphabet (`1`/`0`/`-` for the AND
+    /// plane, `1`/`0` for the OR plane).
+    BadChar {
+        /// Which plane file (`"AND"` or `"OR"`).
+        plane: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// The two files disagree on the number of product terms.
+    TermCountMismatch {
+        /// Rows in the AND plane.
+        and_terms: usize,
+        /// Rows in the OR plane.
+        or_terms: usize,
+    },
+    /// Rows within one plane have differing widths.
+    Ragged {
+        /// Which plane file (`"AND"` or `"OR"`).
+        plane: &'static str,
+    },
+}
+
+impl std::fmt::Display for PlaneParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaneParseError::BadChar { plane, line, ch } => {
+                write!(f, "{plane} plane line {line}: bad char {ch:?}")
+            }
+            PlaneParseError::TermCountMismatch {
+                and_terms,
+                or_terms,
+            } => write!(
+                f,
+                "term count mismatch: {and_terms} AND rows vs {or_terms} OR rows"
+            ),
+            PlaneParseError::Ragged { plane } => write!(f, "ragged {plane} plane"),
+        }
+    }
+}
+
+impl std::error::Error for PlaneParseError {}
+
 /// A two-level PLA: personality matrices for the AND and OR planes.
 ///
 /// Electrically a pseudo-NMOS NOR–NOR structure; logically, each product
 /// term is the AND of its care inputs and each output is the OR of its
 /// connected product terms.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Pla {
     /// Number of PLA inputs (state bits + condition bits).
     pub inputs: usize,
@@ -498,9 +547,9 @@ impl Pla {
     ///
     /// # Errors
     ///
-    /// Returns a message when the files are malformed (ragged rows,
-    /// unknown characters, mismatched term counts).
-    pub fn import_planes(and_plane: &str, or_plane: &str) -> Result<Pla, String> {
+    /// Returns a [`PlaneParseError`] when the files are malformed
+    /// (ragged rows, unknown characters, mismatched term counts).
+    pub fn import_planes(and_plane: &str, or_plane: &str) -> Result<Pla, PlaneParseError> {
         let mut and_rows: Vec<Vec<Tri>> = Vec::new();
         for (ln, line) in and_plane.lines().enumerate() {
             if line.is_empty() {
@@ -512,7 +561,13 @@ impl Pla {
                     '1' => Tri::One,
                     '0' => Tri::Zero,
                     '-' => Tri::DontCare,
-                    c => return Err(format!("AND plane line {}: bad char {c:?}", ln + 1)),
+                    c => {
+                        return Err(PlaneParseError::BadChar {
+                            plane: "AND",
+                            line: ln + 1,
+                            ch: c,
+                        })
+                    }
                 });
             }
             and_rows.push(row);
@@ -527,25 +582,30 @@ impl Pla {
                 row.push(match ch {
                     '1' => true,
                     '0' => false,
-                    c => return Err(format!("OR plane line {}: bad char {c:?}", ln + 1)),
+                    c => {
+                        return Err(PlaneParseError::BadChar {
+                            plane: "OR",
+                            line: ln + 1,
+                            ch: c,
+                        })
+                    }
                 });
             }
             or_rows.push(row);
         }
         if and_rows.len() != or_rows.len() {
-            return Err(format!(
-                "term count mismatch: {} AND rows vs {} OR rows",
-                and_rows.len(),
-                or_rows.len()
-            ));
+            return Err(PlaneParseError::TermCountMismatch {
+                and_terms: and_rows.len(),
+                or_terms: or_rows.len(),
+            });
         }
         let inputs = and_rows.first().map_or(0, |r| r.len());
         let outputs = or_rows.first().map_or(0, |r| r.len());
         if and_rows.iter().any(|r| r.len() != inputs) {
-            return Err("ragged AND plane".to_owned());
+            return Err(PlaneParseError::Ragged { plane: "AND" });
         }
         if or_rows.iter().any(|r| r.len() != outputs) {
-            return Err("ragged OR plane".to_owned());
+            return Err(PlaneParseError::Ragged { plane: "OR" });
         }
         Ok(Pla {
             inputs,

@@ -12,7 +12,7 @@
 //! `sense_path.sp`, and (with `--cif`, small modules only) `layout.cif`.
 
 use bisram_tech::Process;
-use bisramgen::{compile, RamParams};
+use bisramgen::{compile_with, CompileOptions, RamParams};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,6 +27,8 @@ struct Args {
     strap_lambda: i64,
     out: PathBuf,
     cif: bool,
+    jobs: Option<usize>,
+    timings: bool,
 }
 
 impl Default for Args {
@@ -42,6 +44,8 @@ impl Default for Args {
             strap_lambda: 12,
             out: PathBuf::from("bisramgen_out"),
             cif: false,
+            jobs: None,
+            timings: false,
         }
     }
 }
@@ -62,6 +66,8 @@ OPTIONS:
   --strap E:L      strap gap of L lambda every E columns; 0:0 disables (default 32:12)
   --out DIR        output directory (default bisramgen_out)
   --cif            also write the flattened CIF (small modules only)
+  --jobs N         macrocell worker threads (default: BISRAM_JOBS, then all cores)
+  --timings        print the per-stage pipeline trace (wall time, cache hits)
   --help           show this text
 ";
 
@@ -89,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--cif" => args.cif = true,
+            "--jobs" => args.jobs = Some(parse_num(&value("--jobs")?)?),
+            "--timings" => args.timings = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -120,7 +128,14 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     eprintln!("compiling {params} ...");
-    let ram = compile(&params).map_err(|e| e.to_string())?;
+    let mut options = CompileOptions::new();
+    if let Some(jobs) = args.jobs {
+        options = options.with_jobs(jobs);
+    }
+    let ram = compile_with(&params, &options).map_err(|e| e.to_string())?;
+    if args.timings {
+        eprintln!("{}", ram.trace());
+    }
 
     std::fs::create_dir_all(&args.out).map_err(|e| format!("creating {:?}: {e}", args.out))?;
     let write = |name: &str, contents: &str| -> Result<(), String> {

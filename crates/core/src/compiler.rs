@@ -1,16 +1,22 @@
-//! The compile pipeline: leaf cells → macrocells → floorplan → outputs.
+//! The compile entry points and the assembled [`CompiledRam`].
+//!
+//! The actual generation lives in the staged pipeline
+//! ([`crate::pipeline`]): control plan → leaf set → macrocells →
+//! floorplan → signoff, each stage content-keyed and cached. This
+//! module owns the public error type, the `compile`/`compile_with`
+//! entry points, and the `CompiledRam` facade over the stage artifacts.
 
 use crate::datasheet::Datasheet;
 use crate::params::{ParamError, RamParams};
-use bisram_bist::march;
-use bisram_bist::trpla::{self, ControlProgram, Pla, Tri};
-use bisram_geom::{Point, Port, PortDirection, Rect, Side, Transform};
+use crate::pipeline::{
+    self, CompileOptions, ControlPlan, Floorplan, MacroSet, PipelineTrace, Signoff,
+};
+use bisram_bist::trpla::{ControlProgram, Pla, PlaneParseError};
 use bisram_layout::area::AreaReport;
-use bisram_layout::placer::{place_with_margin, Macro, Placement};
-use bisram_layout::route::{self, Route};
-use bisram_layout::{export, leaf, tile, Cell};
+use bisram_layout::placer::Placement;
+use bisram_layout::route::Route;
+use bisram_layout::{export, Cell};
 use bisram_mem::SramModel;
-use bisram_tech::Layer;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -19,17 +25,28 @@ use std::sync::Arc;
 pub enum CompileError {
     /// Parameter validation failed (when compiling from raw inputs).
     Params(ParamError),
+    /// The control-code interchange (the two PLA personality planes)
+    /// failed to parse back.
+    Pla(PlaneParseError),
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::Params(e) => write!(f, "invalid parameters: {e}"),
+            CompileError::Pla(e) => write!(f, "control code interchange: {e}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Params(e) => Some(e),
+            CompileError::Pla(e) => Some(e),
+        }
+    }
+}
 
 impl From<ParamError> for CompileError {
     fn from(e: ParamError) -> Self {
@@ -37,17 +54,24 @@ impl From<ParamError> for CompileError {
     }
 }
 
-/// A fully compiled BISR RAM module.
+impl From<PlaneParseError> for CompileError {
+    fn from(e: PlaneParseError) -> Self {
+        CompileError::Pla(e)
+    }
+}
+
+/// A fully compiled BISR RAM module: a facade over the `Arc`-shared
+/// pipeline artifacts, so cloning a compiled module (or holding many
+/// from one sweep) shares the heavy layout data.
 #[derive(Debug, Clone)]
 pub struct CompiledRam {
     params: RamParams,
-    chip: Cell,
-    placement: Placement,
-    routes: Vec<Route>,
+    control: Arc<ControlPlan>,
+    macros: Arc<MacroSet>,
+    floorplan: Arc<Floorplan>,
+    signoff: Arc<Signoff>,
     areas: Areas,
-    datasheet: Datasheet,
-    program: ControlProgram,
-    pla: Pla,
+    trace: PipelineTrace,
 }
 
 /// Area accounting of a compiled RAM.
@@ -91,264 +115,42 @@ impl Areas {
     }
 }
 
-/// Compiles a validated parameter set into a full BISR RAM module.
+/// Compiles a validated parameter set into a full BISR RAM module,
+/// using the process-wide shared artifact cache and automatic
+/// parallelism (see [`compile_with`] for explicit control).
 ///
 /// # Errors
 ///
-/// Currently infallible for validated [`RamParams`]; the `Result`
-/// reserves room for resource-limit errors.
+/// [`CompileError::Pla`] if the self-generated control-code interchange
+/// fails to parse back (indicates a bug, but no longer a panic);
+/// parameter validation happens in [`RamParams`] construction.
 pub fn compile(params: &RamParams) -> Result<CompiledRam, CompileError> {
-    let process = params.process();
-    let org = *params.org();
-    let lambda = process.rules().lambda();
-
-    // --- Control program and PLA personality (read back through the
-    // two-file interchange, exactly as the original tool loads its
-    // control code at run time).
-    let program = trpla::assemble(&march::ifa9());
-    let pla = {
-        let synthesized = program.synthesize_pla();
-        let (and_s, or_s) = synthesized.export_planes();
-        Pla::import_planes(&and_s, &or_s).expect("self-generated planes always parse")
-    };
-
-    // --- Macrocells.
-    let sram = Arc::new(leaf::sram6t(process));
-    let array_row = Arc::new(tile::tile_with_straps(
-        "array_row",
-        Arc::clone(&sram),
-        1,
-        org.columns(),
-        params.strap_every(),
-        params.strap_lambda() * lambda,
-    ));
-    let mut array = tile::tile_column("ram_array", Arc::clone(&array_row), org.total_rows());
-    // Representative boundary ports so the placer's alignment heuristic
-    // has something to align (word line of row 0, bitline of column 0).
-    array.add_port(
-        Port::new(
-            "wl0",
-            Layer::Poly.id(),
-            Rect::new(0, 18 * lambda, 2 * lambda, 20 * lambda),
-            Side::West,
-        )
-        .with_direction(PortDirection::Input),
-    );
-    array.add_port(
-        Port::new(
-            "bl0",
-            Layer::Metal2.id(),
-            Rect::new(2 * lambda, 0, 5 * lambda, 4 * lambda),
-            Side::South,
-        )
-        .with_direction(PortDirection::Inout),
-    );
-
-    let rowdec_cell = Arc::new(leaf::row_decoder(process, org.row_bits().max(1)));
-    let mut rowdec = tile::tile_column("row_decoders", rowdec_cell, org.total_rows());
-    let rd_w = rowdec.bbox().width();
-    rowdec.add_port(
-        Port::new(
-            "wl0",
-            Layer::Poly.id(),
-            Rect::new(rd_w - 2 * lambda, 18 * lambda, rd_w, 20 * lambda),
-            Side::East,
-        )
-        .with_direction(PortDirection::Output),
-    );
-
-    let wldrv = tile::tile_column(
-        "wl_drivers",
-        Arc::new(leaf::wordline_driver(process, params.gate_size())),
-        org.total_rows(),
-    );
-    let mut prech = tile::tile_row(
-        "precharge",
-        Arc::new(leaf::precharge(process, params.gate_size())),
-        org.columns(),
-    );
-    prech.add_port(
-        Port::new(
-            "bl0",
-            Layer::Metal2.id(),
-            Rect::new(2 * lambda, 0, 5 * lambda, 4 * lambda),
-            Side::South,
-        )
-        .with_direction(PortDirection::Inout),
-    );
-    let colmux = tile::tile_row("column_mux", Arc::new(leaf::col_mux(process)), org.columns());
-    let samp = tile::tile_row("sense_amps", Arc::new(leaf::sense_amp(process)), org.bpw());
-    let wrdrv = tile::tile_row(
-        "write_drivers",
-        Arc::new(leaf::write_driver(process)),
-        org.bpw(),
-    );
-
-    // BIST: ADDGEN (up/down counter over the full word address),
-    // DATAGEN (Johnson stages + XOR comparators), TRPLA, STREG.
-    let addr_bits = (org.row_bits() + org.col_bits()).max(1) as usize;
-    let addgen = tile::tile_row(
-        "bist_addgen",
-        Arc::new(leaf::counter_bit(process)),
-        addr_bits,
-    );
-    let datagen = {
-        let stages = org.bpw() / 2 + 1;
-        let johnson = Arc::new(tile::tile_row(
-            "johnson",
-            Arc::new(leaf::dff(process)),
-            stages.max(1),
-        ));
-        let xors = Arc::new(tile::tile_row(
-            "comparators",
-            Arc::new(leaf::xor2(process)),
-            org.bpw(),
-        ));
-        let mut c = Cell::new("bist_datagen");
-        let jh = johnson.bbox().height();
-        c.add_instance("johnson", johnson, Transform::IDENTITY);
-        c.add_instance("xors", xors, Transform::translate(Point::new(0, jh)));
-        c
-    };
-    let trpla_cell = build_pla_layout(process, &pla);
-    let streg = tile::tile_row(
-        "bist_streg",
-        Arc::new(leaf::dff(process)),
-        program.flip_flops() as usize,
-    );
-
-    // BISR: the TLB — a CAM of `spares × row_bits` plus per-entry match
-    // pullups.
-    let tlb_cell = {
-        let cam_bit = Arc::new(leaf::cam_bit(process));
-        let cam_h = cam_bit.bbox().height();
-        let cam = Arc::new(tile::tile_grid(
-            "cam",
-            cam_bit,
-            org.spare_rows().max(1),
-            org.row_bits().max(1) as usize,
-        ));
-        let pullup = Arc::new(leaf::pla_pullup(process));
-        let mut c = Cell::new("bisr_tlb");
-        let cw = cam.bbox().width();
-        c.add_instance("cam", cam, Transform::IDENTITY);
-        // One match-line pull-up per entry, placed at the CAM row pitch
-        // with its term line aligned to the row's match line (the CAM
-        // bit's match line sits at 28 lambda, the pull-up's at 3 lambda).
-        for entry in 0..org.spare_rows().max(1) {
-            c.add_instance(
-                format!("pullup_{entry}"),
-                Arc::clone(&pullup),
-                Transform::translate(Point::new(cw, entry as i64 * cam_h + 25 * lambda)),
-            );
-        }
-        c
-    };
-
-    // --- Area accounting (before placement; areas are placement
-    // independent).
-    let mut report = AreaReport::new();
-    let array_area = array.area();
-    let per_row = array_area / org.total_rows() as i128;
-    report.add("array_regular_rows", per_row * org.rows() as i128);
-    report.add("array_spare_rows", per_row * org.spare_rows() as i128);
-    report.add("row_decoders", rowdec.area());
-    report.add("wl_drivers", wldrv.area());
-    report.add("precharge", prech.area());
-    report.add("column_mux", colmux.area());
-    report.add("sense_amps", samp.area());
-    report.add("write_drivers", wrdrv.area());
-    report.add("bist_addgen", addgen.area());
-    report.add("bist_datagen", datagen.area());
-    report.add("bist_trpla", trpla_cell.area());
-    report.add("bist_streg", streg.area());
-    report.add("bisr_tlb", tlb_cell.area());
-
-    // --- Macrocell placement (decreasing area + port alignment) and
-    // over-the-cell routing.
-    let macros = vec![
-        Macro::new("ram_array", Arc::new(array)),
-        Macro::new("row_decoders", Arc::new(rowdec)),
-        Macro::new("wl_drivers", Arc::new(wldrv)),
-        Macro::new("precharge", Arc::new(prech)),
-        Macro::new("column_mux", Arc::new(colmux)),
-        Macro::new("sense_amps", Arc::new(samp)),
-        Macro::new("write_drivers", Arc::new(wrdrv)),
-        Macro::new("bist_addgen", Arc::new(addgen)),
-        Macro::new("bist_datagen", Arc::new(datagen)),
-        Macro::new("bist_trpla", Arc::new(trpla_cell)),
-        Macro::new("bist_streg", Arc::new(streg)),
-        Macro::new("bisr_tlb", Arc::new(tlb_cell)),
-    ];
-    // Clearance between macros: the widest same-layer spacing rule (the
-    // n-well's 9 lambda) with slack, so no cross-macro DRC violations
-    // can arise.
-    let placement = place_with_margin(macros, 12 * lambda);
-    let routes = route::route_placement(&placement, process);
-    let mut chip = placement.clone().into_cell(&format!(
-        "bisram_{}x{}",
-        org.words(),
-        org.bpw()
-    ));
-    for r in &routes {
-        for (layer, rect) in &r.shapes {
-            chip.add_shape(*layer, *rect);
-        }
-    }
-
-    let datasheet = Datasheet::extrapolate(params);
-
-    Ok(CompiledRam {
-        params: params.clone(),
-        chip,
-        placement,
-        routes,
-        areas: Areas { report },
-        datasheet,
-        program,
-        pla,
-    })
+    compile_with(params, &CompileOptions::default())
 }
 
-/// Builds the TRPLA layout from the PLA personality: one crosspoint cell
-/// per (term, column), programmed where the personality demands, plus a
-/// pull-up per term line.
-fn build_pla_layout(process: &bisram_tech::Process, pla: &Pla) -> Cell {
-    let on = Arc::new(leaf::pla_crosspoint(process, true));
-    let off = Arc::new(leaf::pla_crosspoint(process, false));
-    let pullup = Arc::new(leaf::pla_pullup(process));
-    let pitch = on.bbox().width();
-    let vpitch = on.bbox().height();
-    let mut c = Cell::new("bist_trpla");
-    for (t, (term, outs)) in pla.and_plane.iter().zip(pla.or_plane.iter()).enumerate() {
-        let y = t as i64 * vpitch;
-        for (i, tri) in term.iter().enumerate() {
-            let master = if *tri == Tri::DontCare { &off } else { &on };
-            c.add_instance(
-                format!("and_{t}_{i}"),
-                Arc::clone(master),
-                Transform::translate(Point::new(i as i64 * pitch, y)),
-            );
-        }
-        let or_x0 = term.len() as i64 * pitch;
-        for (o, drive) in outs.iter().enumerate() {
-            let master = if *drive { &on } else { &off };
-            c.add_instance(
-                format!("or_{t}_{o}"),
-                Arc::clone(master),
-                Transform::translate(Point::new(or_x0 + o as i64 * pitch, y)),
-            );
-        }
-        c.add_instance(
-            format!("pu_{t}"),
-            Arc::clone(&pullup),
-            Transform::translate(Point::new(
-                or_x0 + outs.len() as i64 * pitch,
-                y,
-            )),
-        );
-    }
-    c
+/// Compiles with explicit pipeline options: a chosen artifact cache
+/// (shared, cold, or custom — see [`CompileOptions`]) and a fixed
+/// macrocell worker count.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with(
+    params: &RamParams,
+    options: &CompileOptions,
+) -> Result<CompiledRam, CompileError> {
+    let out = pipeline::run_pipeline(params, options)?;
+    Ok(CompiledRam {
+        params: params.clone(),
+        areas: Areas {
+            report: out.macros.report.clone(),
+        },
+        control: out.control,
+        macros: out.macros,
+        floorplan: out.floorplan,
+        signoff: out.signoff,
+        trace: out.trace,
+    })
 }
 
 impl CompiledRam {
@@ -359,17 +161,22 @@ impl CompiledRam {
 
     /// The assembled chip cell (macrocell instances + route shapes).
     pub fn chip(&self) -> &Cell {
-        &self.chip
+        &self.floorplan.chip
     }
 
     /// The macrocell placement.
     pub fn placement(&self) -> &Placement {
-        &self.placement
+        &self.floorplan.placement
     }
 
     /// The over-the-cell metal-3 routes.
     pub fn routes(&self) -> &[Route] {
-        &self.routes
+        &self.floorplan.routes
+    }
+
+    /// The tiled macrocells (stage-3 artifact).
+    pub fn macrocells(&self) -> &MacroSet {
+        &self.macros
     }
 
     /// Area accounting.
@@ -379,23 +186,30 @@ impl CompiledRam {
 
     /// The extrapolated datasheet.
     pub fn datasheet(&self) -> &Datasheet {
-        &self.datasheet
+        &self.signoff.datasheet
     }
 
     /// The TRPLA control program (two-pass IFA-9 test and repair).
     pub fn control_program(&self) -> &ControlProgram {
-        &self.program
+        &self.control.program
     }
 
     /// The PLA personality.
     pub fn pla(&self) -> &Pla {
-        &self.pla
+        &self.control.pla
+    }
+
+    /// The per-stage pipeline instrumentation of this compile: wall
+    /// times, cache hits/misses, artifact summaries (printed by
+    /// `bisramgen --timings`).
+    pub fn trace(&self) -> &PipelineTrace {
+        &self.trace
     }
 
     /// The control code in the paper's two-file format
     /// `(and_plane, or_plane)`.
     pub fn pla_planes(&self) -> (String, String) {
-        self.pla.export_planes()
+        self.control.pla.export_planes()
     }
 
     /// A fresh behavioural model of this memory (fault-free; inject
@@ -407,14 +221,14 @@ impl CompiledRam {
 
     /// Total module area in mm².
     pub fn area_mm2(&self) -> f64 {
-        self.placement.bbox().area() as f64 * 1e-12
+        self.floorplan.placement.bbox().area() as f64 * 1e-12
     }
 
     /// An SVG floorplan plot — the stand-in for the paper's Fig. 6/7
     /// layout photographs (macro outlines with labels; full-detail
     /// geometry export is [`CompiledRam::to_cif`]).
     pub fn floorplan_svg(&self) -> String {
-        let bbox = self.placement.bbox();
+        let bbox = self.floorplan.placement.bbox();
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -428,7 +242,7 @@ impl CompiledRam {
             "#b0c4de", "#ffd9a0", "#c1e1c1", "#f4b6c2", "#d7bde2", "#aed6f1", "#f9e79f",
             "#a3e4d7", "#f5cba7", "#d5dbdb", "#fadbd8", "#d4efdf",
         ];
-        for (i, m) in self.placement.placed().iter().enumerate() {
+        for (i, m) in self.floorplan.placement.placed().iter().enumerate() {
             let b = m.bbox();
             let _ = writeln!(
                 out,
@@ -450,7 +264,7 @@ impl CompiledRam {
                 m.name
             );
         }
-        for r in &self.routes {
+        for r in &self.floorplan.routes {
             for (_, rect) in &r.shapes {
                 let _ = writeln!(
                     out,
@@ -470,7 +284,7 @@ impl CompiledRam {
     /// intended for small modules and leaf-cell inspection; a 4 Mb array
     /// produces a very large file.
     pub fn to_cif(&self) -> String {
-        export::to_cif(&self.chip)
+        export::to_cif(&self.floorplan.chip)
     }
 
     /// A SPICE deck of the sense path (bit cell driving the bitline into
@@ -541,6 +355,7 @@ mod tests {
                 "missing macrocell {name}"
             );
             assert!(ram.areas().report().area_of(name) > 0 || name == "ram_array");
+            assert!(ram.macrocells().cell(name).is_some());
         }
         assert!(ram.area_mm2() > 0.0);
     }
@@ -645,5 +460,20 @@ mod tests {
         let ram = small();
         let deck = ram.sense_path_spice();
         assert!(deck.contains("M1") && deck.contains("PWL") && deck.contains(".END"));
+    }
+
+    #[test]
+    fn compile_records_a_full_trace() {
+        let ram = small();
+        assert_eq!(ram.trace().stages.len(), 5);
+        assert!(ram.trace().jobs >= 1);
+        assert!(ram.trace().to_string().contains("macrocells"));
+    }
+
+    #[test]
+    fn pla_errors_are_typed_not_panics() {
+        let e = CompileError::from(PlaneParseError::Ragged { plane: "AND" });
+        assert_eq!(e.to_string(), "control code interchange: ragged AND plane");
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -40,8 +40,10 @@ mod compiler;
 mod datasheet;
 mod overhead;
 mod params;
+pub mod pipeline;
 
-pub use compiler::{compile, CompileError, CompiledRam};
+pub use compiler::{compile, compile_with, Areas, CompileError, CompiledRam};
+pub use pipeline::{CellCache, CompileOptions, PipelineTrace};
 pub use datasheet::{Datasheet, ReliabilitySheet};
 pub use overhead::{overhead_row, OverheadRow};
 pub use params::{ParamError, RamParams, RamParamsBuilder};

@@ -1,0 +1,44 @@
+//! Stage 5 — signoff: the extrapolated datasheet.
+
+use super::key::content_key;
+use super::{PipelineCtx, Stage};
+use crate::compiler::CompileError;
+use crate::datasheet::Datasheet;
+
+/// The signoff artifact: electrical extrapolations for the datasheet
+/// (access/cycle time, power, the TLB delay-masking check).
+#[derive(Debug, Clone)]
+pub struct Signoff {
+    /// The extrapolated datasheet.
+    pub datasheet: Datasheet,
+}
+
+/// Builds the [`Signoff`]. Reads the full parameter set (organization,
+/// process electricals, gate sizing) but none of the layout artifacts —
+/// extrapolation is analytic, which is why this stage can run without
+/// waiting on the floorplan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignoffStage;
+
+impl Stage for SignoffStage {
+    type Artifact = Signoff;
+
+    const NAME: &'static str = "signoff";
+
+    fn key(&self, ctx: &PipelineCtx<'_>) -> super::key::ContentKey {
+        content_key(&ctx.params_fingerprint())
+    }
+
+    fn run(&self, ctx: &PipelineCtx<'_>) -> Result<Signoff, CompileError> {
+        Ok(Signoff {
+            datasheet: Datasheet::extrapolate(ctx.params),
+        })
+    }
+
+    fn describe(artifact: &Signoff) -> String {
+        format!(
+            "access {:.2} ns",
+            artifact.datasheet.access_time_s * 1e9
+        )
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-stage pipeline instrumentation.
+//!
+//! Every compile records a [`PipelineTrace`]: one [`StageTrace`] per
+//! stage with wall time, the cache traffic the stage generated, whether
+//! the stage artifact itself came out of the cache, and a short
+//! artifact summary. `CompiledRam::trace` exposes it and
+//! `bisramgen --timings` prints it; the `pipeline_throughput` bench
+//! uses it to prove warm sweeps actually hit the cache.
+
+use super::key::ContentKey;
+use std::time::Duration;
+
+/// Instrumentation for one pipeline stage of one compile.
+#[derive(Debug, Clone)]
+pub struct StageTrace {
+    /// Stage name (`control`, `leaves`, `macrocells`, `floorplan`,
+    /// `signoff`).
+    pub stage: &'static str,
+    /// The stage artifact's content key.
+    pub key: ContentKey,
+    /// Wall-clock time spent in the stage (lookup + build).
+    pub wall: Duration,
+    /// Whether the stage artifact was served from the cache.
+    pub cached: bool,
+    /// Cache hits generated while the stage ran (stage-level plus any
+    /// inner per-cell traffic).
+    pub cache_hits: u64,
+    /// Cache misses generated while the stage ran.
+    pub cache_misses: u64,
+    /// One-line artifact description (sizes, counts).
+    pub artifact: String,
+}
+
+/// The full per-compile record.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTrace {
+    /// Stage records in execution order.
+    pub stages: Vec<StageTrace>,
+    /// Worker threads the macrocell stage was allowed to use.
+    pub jobs: usize,
+}
+
+impl PipelineTrace {
+    /// Total wall time across stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Total cache hits across stages.
+    pub fn cache_hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Total cache misses across stages.
+    pub fn cache_misses(&self) -> u64 {
+        self.stages.iter().map(|s| s.cache_misses).sum()
+    }
+
+    /// Looks a stage record up by name.
+    pub fn stage(&self, name: &str) -> Option<&StageTrace> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+impl std::fmt::Display for PipelineTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>6} {:>6} {:>6}  {:<18} artifact",
+            "stage", "wall", "cached", "hits", "miss", "key"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<12} {:>10} {:>6} {:>6} {:>6}  {:<18} {}",
+                s.stage,
+                format!("{:.1?}", s.wall),
+                if s.cached { "yes" } else { "no" },
+                s.cache_hits,
+                s.cache_misses,
+                s.key.to_string(),
+                s.artifact,
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>6} {:>6} {:>6}  (jobs: {})",
+            "TOTAL",
+            format!("{:.1?}", self.total_wall()),
+            "",
+            self.cache_hits(),
+            self.cache_misses(),
+            self.jobs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PipelineTrace {
+        PipelineTrace {
+            stages: vec![
+                StageTrace {
+                    stage: "control",
+                    key: ContentKey(0xDEAD),
+                    wall: Duration::from_millis(2),
+                    cached: false,
+                    cache_hits: 0,
+                    cache_misses: 1,
+                    artifact: "34 states".into(),
+                },
+                StageTrace {
+                    stage: "macrocells",
+                    key: ContentKey(0xBEEF),
+                    wall: Duration::from_millis(5),
+                    cached: true,
+                    cache_hits: 3,
+                    cache_misses: 2,
+                    artifact: "12 macros".into(),
+                },
+            ],
+            jobs: 4,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_stages() {
+        let t = trace();
+        assert_eq!(t.total_wall(), Duration::from_millis(7));
+        assert_eq!(t.cache_hits(), 3);
+        assert_eq!(t.cache_misses(), 3);
+        assert_eq!(t.stage("control").unwrap().artifact, "34 states");
+        assert!(t.stage("missing").is_none());
+    }
+
+    #[test]
+    fn display_renders_every_stage_and_the_total() {
+        let s = trace().to_string();
+        assert!(s.contains("control"));
+        assert!(s.contains("macrocells"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("jobs: 4"));
+        assert!(s.contains("000000000000beef"));
+    }
+}

@@ -483,6 +483,74 @@ pub fn library(process: &Process) -> Vec<Cell> {
     ]
 }
 
+/// A hashable description of one leaf cell: which generator to run and
+/// the parameters it takes. Together with a process fingerprint this is
+/// the *content key* under which compile pipelines cache generated
+/// leaves — two compiles that would draw the identical cell map to the
+/// identical key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeafSpec {
+    /// [`sram6t`].
+    Sram6t,
+    /// [`precharge`] with its critical-gate size factor.
+    Precharge {
+        /// Size factor (λ multiplier on the pull-up width).
+        size_factor: Coord,
+    },
+    /// [`sense_amp`].
+    SenseAmp,
+    /// [`write_driver`].
+    WriteDriver,
+    /// [`col_mux`].
+    ColMux,
+    /// [`row_decoder`] for a given address width.
+    RowDecoder {
+        /// Row-address bits decoded.
+        address_bits: u32,
+    },
+    /// [`wordline_driver`] with its critical-gate size factor.
+    WordlineDriver {
+        /// Size factor.
+        size_factor: Coord,
+    },
+    /// [`cam_bit`].
+    CamBit,
+    /// [`pla_crosspoint`], programmed or blank.
+    PlaCrosspoint {
+        /// Whether the crosspoint transistor is present.
+        programmed: bool,
+    },
+    /// [`pla_pullup`].
+    PlaPullup,
+    /// [`dff`].
+    Dff,
+    /// [`counter_bit`].
+    CounterBit,
+    /// [`xor2`].
+    Xor2,
+}
+
+impl LeafSpec {
+    /// Runs the described generator against `process`.
+    pub fn build(&self, process: &Process) -> Cell {
+        match *self {
+            LeafSpec::Sram6t => sram6t(process),
+            LeafSpec::Precharge { size_factor } => precharge(process, size_factor),
+            LeafSpec::SenseAmp => sense_amp(process),
+            LeafSpec::WriteDriver => write_driver(process),
+            LeafSpec::ColMux => col_mux(process),
+            LeafSpec::RowDecoder { address_bits } => row_decoder(process, address_bits),
+            LeafSpec::WordlineDriver { size_factor } => wordline_driver(process, size_factor),
+            LeafSpec::CamBit => cam_bit(process),
+            LeafSpec::PlaCrosspoint { programmed } => pla_crosspoint(process, programmed),
+            LeafSpec::PlaPullup => pla_pullup(process),
+            LeafSpec::Dff => dff(process),
+            LeafSpec::CounterBit => counter_bit(process),
+            LeafSpec::Xor2 => xor2(process),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +625,38 @@ mod tests {
     fn decoder_width_grows_with_fanin() {
         let p = Process::cda07();
         assert!(row_decoder(&p, 10).bbox().width() > row_decoder(&p, 5).bbox().width());
+    }
+
+    #[test]
+    fn leaf_specs_build_the_same_cells_as_the_generators() {
+        let p = Process::cda07();
+        for (spec, direct) in [
+            (LeafSpec::Sram6t, sram6t(&p)),
+            (LeafSpec::Precharge { size_factor: 3 }, precharge(&p, 3)),
+            (LeafSpec::RowDecoder { address_bits: 7 }, row_decoder(&p, 7)),
+            (LeafSpec::PlaCrosspoint { programmed: true }, pla_crosspoint(&p, true)),
+            (LeafSpec::Xor2, xor2(&p)),
+        ] {
+            let built = spec.build(&p);
+            assert_eq!(built.name(), direct.name());
+            assert_eq!(built.bbox(), direct.bbox());
+            assert_eq!(built.flatten(), direct.flatten());
+        }
+    }
+
+    #[test]
+    fn leaf_specs_with_different_parameters_hash_differently() {
+        use std::collections::HashSet;
+        let specs = [
+            LeafSpec::Precharge { size_factor: 1 },
+            LeafSpec::Precharge { size_factor: 2 },
+            LeafSpec::RowDecoder { address_bits: 5 },
+            LeafSpec::RowDecoder { address_bits: 6 },
+            LeafSpec::PlaCrosspoint { programmed: true },
+            LeafSpec::PlaCrosspoint { programmed: false },
+        ];
+        let set: HashSet<LeafSpec> = specs.into_iter().collect();
+        assert_eq!(set.len(), 6);
     }
 
     #[test]

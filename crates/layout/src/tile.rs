@@ -8,7 +8,8 @@
 //! RAM array".
 
 use crate::cell::Cell;
-use bisram_geom::{Coord, Point, Transform};
+use bisram_geom::{Coord, Point, Port, PortDirection, Rect, Side, Transform};
+use bisram_tech::Layer;
 use std::sync::Arc;
 
 /// Tiles `master` into a `rows × cols` grid, stepping by the master's
@@ -71,6 +72,49 @@ pub fn tile_with_straps(
     }
     out.set_outline(bisram_geom::Rect::new(0, 0, max_x, rows as Coord * pitch_y));
     out
+}
+
+/// The representative word-line boundary port of a row-pitched tile:
+/// poly at the leaf library's word-line contract (y = 18λ..20λ of row
+/// 0), a 2λ stub on the `West` or `East` edge of a cell `width` wide.
+/// The placer's alignment heuristic matches these across macrocells, so
+/// every macro exposing a word line must describe it identically —
+/// which is why this lives here rather than being hand-built per macro.
+///
+/// # Panics
+///
+/// Panics on a side other than `West`/`East`.
+pub fn wordline_boundary_port(
+    lambda: Coord,
+    width: Coord,
+    side: Side,
+    direction: PortDirection,
+) -> Port {
+    let (x0, x1) = match side {
+        Side::West => (0, 2 * lambda),
+        Side::East => (width - 2 * lambda, width),
+        other => panic!("word lines leave on a vertical edge, not {other:?}"),
+    };
+    Port::new(
+        "wl0",
+        Layer::Poly.id(),
+        Rect::new(x0, 18 * lambda, x1, 20 * lambda),
+        side,
+    )
+    .with_direction(direction)
+}
+
+/// The representative bitline boundary port of a column-pitched tile:
+/// metal2 at the leaf library's bitline contract (x = 2λ..5λ of column
+/// 0), a 4λ stub on the `South` edge, bidirectional.
+pub fn bitline_boundary_port(lambda: Coord) -> Port {
+    Port::new(
+        "bl0",
+        Layer::Metal2.id(),
+        Rect::new(2 * lambda, 0, 5 * lambda, 4 * lambda),
+        Side::South,
+    )
+    .with_direction(PortDirection::Inout)
 }
 
 #[cfg(test)]
@@ -150,5 +194,25 @@ mod tests {
     fn empty_grid_rejected() {
         let p = Process::cda07();
         tile_grid("bad", Arc::new(leaf::sram6t(&p)), 0, 3);
+    }
+
+    #[test]
+    fn boundary_ports_sit_at_the_pitch_contract() {
+        let l = 350;
+        let west = wordline_boundary_port(l, 9000, Side::West, PortDirection::Input);
+        assert_eq!(west.rect(), Rect::new(0, 18 * l, 2 * l, 20 * l));
+        let east = wordline_boundary_port(l, 9000, Side::East, PortDirection::Output);
+        assert_eq!(east.rect(), Rect::new(9000 - 2 * l, 18 * l, 9000, 20 * l));
+        assert_eq!(east.name(), "wl0");
+        let bl = bitline_boundary_port(l);
+        assert_eq!(bl.rect(), Rect::new(2 * l, 0, 5 * l, 4 * l));
+        assert_eq!(bl.name(), "bl0");
+        assert_eq!(bl.layer(), Layer::Metal2.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "vertical edge")]
+    fn wordline_port_rejects_horizontal_sides() {
+        let _ = wordline_boundary_port(250, 1000, Side::South, PortDirection::Input);
     }
 }

@@ -11,7 +11,21 @@ use bisram_bist::{coverage, march};
 use bisram_mem::{random_faults, ArrayOrg, FaultMix};
 use bisram_rng::rngs::StdRng;
 use bisram_rng::SeedableRng;
+use bisram_tech::Process;
 use bisram_yield::montecarlo::{self, MonteCarloYield};
+use bisramgen::{compile_with, CompileOptions, CompiledRam, RamParams};
+
+/// The four byte-exact textual outputs the cache-transparency contract
+/// covers: floorplan SVG, the two PLA personality planes, the itemized
+/// area report, and the datasheet.
+fn output_bytes(ram: &CompiledRam) -> (String, (String, String), String, String) {
+    (
+        ram.floorplan_svg(),
+        ram.pla_planes(),
+        ram.areas().report().to_string(),
+        ram.datasheet().to_string(),
+    )
+}
 
 #[test]
 fn same_seed_gives_byte_identical_fault_lists() {
@@ -62,6 +76,70 @@ fn same_seed_gives_identical_coverage_report() {
         let cb = b.class(class).expect("class present");
         assert_eq!(ca, cb, "class {class}");
         assert_eq!(ca.injected, 24);
+    }
+}
+
+#[test]
+fn warm_cache_recompiles_are_byte_identical_across_all_processes() {
+    // Cache transparency: a warm recompile (every stage artifact served
+    // from the cache) must produce byte-identical outputs to the cold
+    // compile that populated it, for each built-in process.
+    for name in ["CDA.5u3m1p", "mos.6u3m1pHP", "CDA.7u3m1p"] {
+        let process = Process::by_name(name).expect("built-in process");
+        let params = RamParams::builder()
+            .words(512)
+            .bits_per_word(8)
+            .bits_per_column(4)
+            .spare_rows(4)
+            .process(process)
+            .build()
+            .expect("valid parameters");
+        let options = CompileOptions::cold();
+        let cold = compile_with(&params, &options).expect("cold compile");
+        let warm = compile_with(&params, &options).expect("warm compile");
+        assert!(
+            warm.trace().cache_misses() == 0,
+            "{name}: warm recompile rebuilt an artifact"
+        );
+        assert_eq!(
+            output_bytes(&cold),
+            output_bytes(&warm),
+            "{name}: warm recompile diverged from cold"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_cached_compiles_match_the_serial_cold_path() {
+    // The parallel executor and the artifact cache must both be
+    // invisible in the output: serial cold is the reference, and
+    // 2-way / 8-way parallel compiles — cold and cache-warm — must be
+    // byte-identical to it.
+    let params = RamParams::builder()
+        .words(1024)
+        .bits_per_word(16)
+        .bits_per_column(4)
+        .spare_rows(4)
+        .build()
+        .expect("valid parameters");
+    let reference = compile_with(&params, &CompileOptions::cold().with_jobs(1))
+        .expect("serial cold compile");
+    let reference_bytes = output_bytes(&reference);
+    for jobs in [2, 8] {
+        let options = CompileOptions::cold().with_jobs(jobs);
+        let cold = compile_with(&params, &options).expect("parallel cold compile");
+        let warm = compile_with(&params, &options).expect("parallel warm compile");
+        assert_eq!(
+            output_bytes(&cold),
+            reference_bytes,
+            "jobs={jobs}: parallel cold diverged from serial"
+        );
+        assert_eq!(
+            output_bytes(&warm),
+            reference_bytes,
+            "jobs={jobs}: parallel warm diverged from serial"
+        );
+        assert!(warm.trace().cache_hits() > 0, "jobs={jobs}: no cache hits");
     }
 }
 
