@@ -1,0 +1,102 @@
+//! Parallel-fleet scaling: the Monte-Carlo lifetime engine over the
+//! shared executor.
+//!
+//! Two contracts are checked here, mirroring the field crate's tests at
+//! bench scale:
+//!
+//! * **Determinism** (always asserted): `simulate_fleet_jobs` is byte-
+//!   identical at 1, 2 and 8 workers — per-lifetime seeds are index-
+//!   derived and the partial aggregates merge in a job-count-independent
+//!   chunk order. CI greps the `fleet determinism: PASS` marker.
+//! * **Scaling** (asserted only where it can hold): at least 1.5x going
+//!   from 1 to 4 workers, skipped with a `parallel speedup: SKIPPED`
+//!   marker on machines with fewer than 4 cores — a single-core CI
+//!   runner cannot show parallel speedup no matter how good the
+//!   executor is.
+
+use bisram_bench::harness::{black_box, Harness};
+use bisram_bench::{banner, quick_harness};
+use bisram_field::{simulate_fleet_jobs, FieldConfig};
+use bisram_mem::ArrayOrg;
+use std::time::Instant;
+
+/// Minimum 4-worker-over-serial speedup, asserted on >=4-core machines.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn config() -> FieldConfig {
+    let org = ArrayOrg::new(64, 4, 2, 4).expect("valid bench geometry");
+    FieldConfig::new(org, 9.0e-7, 10_000.0, 120_000.0)
+}
+
+/// Best-of-`k` wall time of `f`, seconds.
+fn min_time<F: FnMut()>(k: usize, mut f: F) -> f64 {
+    (0..k)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    banner(
+        "fleet_scaling",
+        "parallel Monte-Carlo lifetime fleets over the shared executor",
+    );
+    let smoke = std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let cfg = config();
+    let lifetimes = if smoke { 24 } else { 96 };
+    let seed = 0xF1EE7;
+
+    // Determinism across worker counts — always asserted.
+    let serial = simulate_fleet_jobs(&cfg, lifetimes, seed, 1);
+    for jobs in [2, 8] {
+        let parallel = simulate_fleet_jobs(&cfg, lifetimes, seed, jobs);
+        assert!(
+            serial == parallel,
+            "fleet result changed between 1 and {jobs} workers"
+        );
+    }
+    println!("fleet determinism: PASS (1 == 2 == 8 workers, {lifetimes} lifetimes)");
+    println!(
+        "fleet: {} deaths / {} lifetimes, censored MTTF {:.0} h",
+        serial.deaths, serial.lifetimes, serial.mttf_hours
+    );
+
+    // Scaling floor — only meaningful with real cores to scale onto.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 {
+        let reps = if smoke { 2 } else { 5 };
+        let t1 = min_time(reps, || {
+            black_box(simulate_fleet_jobs(&cfg, lifetimes, seed, 1));
+        });
+        let t4 = min_time(reps, || {
+            black_box(simulate_fleet_jobs(&cfg, lifetimes, seed, 4));
+        });
+        let speedup = t1 / t4;
+        println!(
+            "serial {:.3} ms, 4 workers {:.3} ms -> {speedup:.2}x",
+            t1 * 1e3,
+            t4 * 1e3
+        );
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "parallel fleet must stay >= {SPEEDUP_FLOOR}x over serial at 4 workers, \
+             got {speedup:.2}x"
+        );
+        println!("parallel speedup: PASS ({speedup:.2}x >= {SPEEDUP_FLOOR}x at 4 workers)");
+    } else {
+        println!("parallel speedup: SKIPPED (needs >= 4 cores, machine has {cores})");
+    }
+
+    // Timed groups for the summary table.
+    let mut c: Harness = quick_harness();
+    c.bench_function("fleet_serial", |b| {
+        b.iter(|| simulate_fleet_jobs(&cfg, lifetimes, seed, 1))
+    });
+    c.bench_function("fleet_4_workers", |b| {
+        b.iter(|| simulate_fleet_jobs(&cfg, lifetimes, seed, 4))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,93 @@
+//! Transient-solver speedup: adaptive vs fixed-step on the paper's two
+//! measurement kernels.
+//!
+//! The adaptive driver (LTE-controlled stepping, pre-assembled static
+//! stamps, modified-Newton LU reuse) must beat the fixed-step golden
+//! reference by at least 2x on the Fig. 3 sense-amp run — the floor is
+//! *asserted*, and the `adaptive speedup: PASS` marker is grepped by CI,
+//! so a regression that quietly gives the speedup back fails the build.
+//! Equivalence of the two drivers' answers is covered by
+//! `bisram-circuit/tests/adaptive_equivalence.rs`; this target is about
+//! the time.
+
+use bisram_bench::harness::{black_box, Harness};
+use bisram_bench::{banner, quick_harness, senseamp_netlist};
+use bisram_circuit::{AdaptiveOptions, TransientSim};
+use bisram_tech::Process;
+use std::time::Instant;
+
+/// Fig. 3 simulated span and reference step.
+const T_STOP: f64 = 8e-9;
+const DT_REF: f64 = 10e-12;
+
+/// Minimum adaptive-over-fixed speedup, asserted below.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Best-of-`k` wall time of `f`, seconds.
+fn min_time<F: FnMut()>(k: usize, mut f: F) -> f64 {
+    (0..k)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    banner(
+        "tran_solver",
+        "adaptive transient solver vs fixed-step reference (Fig. 3 sense amp)",
+    );
+    let smoke = std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let process = Process::cda07();
+    let (nl, _bl, _blb) = senseamp_netlist(&process, 20.0);
+    let sim = TransientSim::new(&nl, process.devices()).expect("valid topology");
+    let opts = AdaptiveOptions::for_span(T_STOP);
+
+    // Work profile of one adaptive run, for the report.
+    let (_, stats) = sim
+        .run_adaptive_with_stats(T_STOP, &opts)
+        .expect("adaptive converges");
+    let fixed_steps = (T_STOP / DT_REF).ceil() as usize + 1;
+    println!(
+        "steps: fixed {fixed_steps}, adaptive {} accepted + {} rejected",
+        stats.steps_accepted, stats.steps_rejected
+    );
+    println!(
+        "newton: {} iterations, {} LU factorizations, {} LU reuses",
+        stats.newton_iterations, stats.lu_factorizations, stats.lu_reuses
+    );
+
+    // The asserted floor: best-of-k wall times so scheduler noise can
+    // only hurt both sides equally. Smoke mode keeps the assertion but
+    // trims the repetitions.
+    let reps = if smoke { 3 } else { 7 };
+    let t_fixed = min_time(reps, || {
+        black_box(sim.run(T_STOP, DT_REF).expect("fixed-step converges"));
+    });
+    let t_adaptive = min_time(reps, || {
+        black_box(sim.run_adaptive(T_STOP, &opts).expect("adaptive converges"));
+    });
+    let speedup = t_fixed / t_adaptive;
+    println!(
+        "fixed {:.3} ms, adaptive {:.3} ms -> {speedup:.1}x",
+        t_fixed * 1e3,
+        t_adaptive * 1e3
+    );
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "adaptive solver must stay >= {SPEEDUP_FLOOR}x faster than fixed-step, got {speedup:.2}x"
+    );
+    println!("adaptive speedup: PASS ({speedup:.1}x >= {SPEEDUP_FLOOR}x)");
+
+    // Timed groups for the summary table.
+    let mut c: Harness = quick_harness();
+    c.bench_function("tran_fixed_step_senseamp", |b| {
+        b.iter(|| sim.run(T_STOP, DT_REF).expect("fixed-step converges"))
+    });
+    c.bench_function("tran_adaptive_senseamp", |b| {
+        b.iter(|| sim.run_adaptive(T_STOP, &opts).expect("adaptive converges"))
+    });
+    c.final_summary();
+}

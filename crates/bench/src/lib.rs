@@ -28,14 +28,14 @@ pub fn quick_harness() -> Harness {
         .configure_from_args()
 }
 
-/// Builds and runs the Fig. 3 current-mode sense amplifier experiment: a
-/// cross-coupled PMOS latch over the bitline pair, with a current
+/// Builds the Fig. 3 current-mode sense amplifier testbench: a
+/// cross-coupled latch over the bitline pair, with a current
 /// differential `delta_ua` (µA) steered onto one side from `t` = 1 ns.
-/// Returns the transient result plus the node handles `(bl, blb)`.
-pub fn senseamp_transient(
+/// Returns the netlist plus the node handles `(bl, blb)`.
+pub fn senseamp_netlist(
     process: &Process,
     delta_ua: f64,
-) -> (TranResult, bisram_circuit::NodeId, bisram_circuit::NodeId) {
+) -> (Netlist, bisram_circuit::NodeId, bisram_circuit::NodeId) {
     let dev = process.devices();
     let l = process.gate_length_m();
     let lambda_m = process.rules().lambda() as f64 * 1e-9;
@@ -68,12 +68,19 @@ pub fn senseamp_transient(
         bl,
         vec![(0.0, 0.0), (1.0e-9, 0.0), (1.05e-9, delta_ua * 1e-6)],
     );
+    (nl, bl, blb)
+}
 
-    let sim = TransientSim::new(&nl, dev).expect("valid topology");
+/// Runs the Fig. 3 experiment on the fixed-step reference driver and
+/// returns the transient result plus the node handles `(bl, blb)`.
+pub fn senseamp_transient(
+    process: &Process,
+    delta_ua: f64,
+) -> (TranResult, bisram_circuit::NodeId, bisram_circuit::NodeId) {
+    let (nl, bl, blb) = senseamp_netlist(process, delta_ua);
+    let sim = TransientSim::new(&nl, process.devices()).expect("valid topology");
     let result = sim.run(8e-9, 10e-12).expect("sense amp converges");
-    let blid = nl.find_node("bl").expect("node exists");
-    let blbid = nl.find_node("blb").expect("node exists");
-    (result, blid, blbid)
+    (result, bl, blb)
 }
 
 /// The latch decision time of a sense run: when the differential first

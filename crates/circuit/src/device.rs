@@ -1,0 +1,165 @@
+//! The level-1 MOS device model, shared by every analysis in the crate.
+//!
+//! The drain-current equation used to live twice — once inside the
+//! transient simulator ([`crate::tran`]) and once, in a DC-only form,
+//! inside the SNM butterfly extractor ([`crate::snm`]). Both call sites
+//! now funnel through this module, so a model change (or a model bug
+//! fix) can never drift the two analyses apart.
+
+use crate::netlist::MosType;
+use bisram_tech::DeviceParams;
+
+/// Symmetric level-1 NMOS current (A) from drain to source, handling the
+/// source/drain swap for `vds < 0`. `beta` is `kp·W/L`; `lambda` is the
+/// channel-length-modulation parameter (pass 0 for the ideal DC model).
+pub fn level1_nmos_id(vd: f64, vg: f64, vs: f64, beta: f64, vt: f64, lambda: f64) -> f64 {
+    if vd < vs {
+        return -level1_nmos_id(vs, vg, vd, beta, vt, lambda);
+    }
+    let vgs = vg - vs;
+    let vds = vd - vs;
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        return 0.0;
+    }
+    let clm = 1.0 + lambda * vds;
+    if vds >= vov {
+        0.5 * beta * vov * vov * clm
+    } else {
+        beta * (vov * vds - 0.5 * vds * vds) * clm
+    }
+}
+
+/// The SNM extractor's calling convention: `vgs`/`vds` relative to the
+/// source, no channel-length modulation. Exactly
+/// `level1_nmos_id(vds, vgs, 0, beta, vt, 0)` — kept as a named entry
+/// point so the DC call sites read in their natural variables.
+pub fn level1_nmos_id_dc(vgs: f64, vds: f64, beta: f64, vt: f64) -> f64 {
+    level1_nmos_id(vds, vgs, 0.0, beta, vt, 0.0)
+}
+
+/// Drain current (A) flowing from drain to source for either polarity,
+/// at absolute terminal voltages. PMOS is evaluated as an NMOS with all
+/// node voltages negated, using the process's `vtp` magnitude.
+pub fn mos_id(
+    dev: &DeviceParams,
+    mos_type: MosType,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    w: f64,
+    l: f64,
+) -> f64 {
+    match mos_type {
+        MosType::Nmos => level1_nmos_id(vd, vg, vs, dev.kp_n * w / l, dev.vtn, dev.channel_lambda),
+        MosType::Pmos => {
+            -level1_nmos_id(-vd, -vg, -vs, dev.kp_p * w / l, dev.vtp, dev.channel_lambda)
+        }
+    }
+}
+
+/// Drain current plus the partial derivatives w.r.t. `(vd, vg, vs)`,
+/// computed by central differences around the analytic level-1 current —
+/// the linearization the transient simulator stamps into its Jacobian.
+pub fn mos_linearized(
+    dev: &DeviceParams,
+    mos_type: MosType,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    w: f64,
+    l: f64,
+) -> (f64, f64, f64, f64) {
+    let f = |vd: f64, vg: f64, vs: f64| mos_id(dev, mos_type, vd, vg, vs, w, l);
+    let h = 1e-5;
+    let i0 = f(vd, vg, vs);
+    let gd = (f(vd + h, vg, vs) - f(vd - h, vg, vs)) / (2.0 * h);
+    let gg = (f(vd, vg + h, vs) - f(vd, vg - h, vs)) / (2.0 * h);
+    let gs = (f(vd, vg, vs + h) - f(vd, vg, vs - h)) / (2.0 * h);
+    (i0, gd, gg, gs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_tech::Process;
+
+    #[test]
+    fn nmos_current_regions() {
+        let beta = 1e-3;
+        // Cutoff.
+        assert_eq!(level1_nmos_id(1.0, 0.3, 0.0, beta, 0.7, 0.0), 0.0);
+        // Saturation: vgs=2, vt=0.7, vds=3 > vov → 0.5·β·vov².
+        let sat = level1_nmos_id(3.0, 2.0, 0.0, beta, 0.7, 0.0);
+        assert!((sat - 0.5 * beta * 1.3f64.powi(2)).abs() < 1e-12);
+        // Triode below saturation current.
+        let tri = level1_nmos_id(0.2, 2.0, 0.0, beta, 0.7, 0.0);
+        assert!(tri > 0.0 && tri < sat);
+        // Symmetry on swap.
+        let fwd = level1_nmos_id(1.0, 2.0, 0.0, beta, 0.7, 0.0);
+        let rev = level1_nmos_id(0.0, 2.0, 1.0, beta, 0.7, 0.0);
+        assert!((fwd + rev).abs() < 1e-15);
+    }
+
+    /// The dedupe pin: the transient simulator's terminal-voltage
+    /// convention and the SNM extractor's vgs/vds convention must agree
+    /// to the last bit over a dense sweep of both operating quadrants.
+    #[test]
+    fn transient_and_dc_call_conventions_agree_bit_for_bit() {
+        let beta = 7.3e-4;
+        let vt = 0.75;
+        for i in -20..=20 {
+            for j in -20..=20 {
+                let vgs = i as f64 * 0.25;
+                let vds = j as f64 * 0.25;
+                let dc = level1_nmos_id_dc(vgs, vds, beta, vt);
+                // Source at ground: the two conventions are literally
+                // the same computation, so bits must match.
+                let tran = level1_nmos_id(vds, vgs, 0.0, beta, vt, 0.0);
+                assert!(
+                    dc.to_bits() == tran.to_bits(),
+                    "vgs={vgs} vds={vds}: dc={dc:e} tran={tran:e}"
+                );
+                // Shift both terminals by an arbitrary source voltage:
+                // the transient convention is translation-invariant up
+                // to terminal-subtraction rounding.
+                let vs = 1.35;
+                let shifted = level1_nmos_id(vds + vs, vgs + vs, vs, beta, vt, 0.0);
+                assert!(
+                    (dc - shifted).abs() <= 1e-12 * dc.abs().max(1e-12),
+                    "vgs={vgs} vds={vds}: dc={dc:e} shifted={shifted:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let d = Process::cda07().devices().clone();
+        let (w, l) = (2e-6, 0.7e-6);
+        // PMOS source at vdd, gate low, drain low: strong conduction,
+        // current flows source→drain, i.e. negative drain→source.
+        let i = mos_id(&d, MosType::Pmos, 0.0, 0.0, d.vdd, w, l);
+        assert!(i < 0.0, "conducting PMOS pulls the drain up: {i:e}");
+        // Cutoff when the gate sits at the source.
+        let off = mos_id(&d, MosType::Pmos, 0.0, d.vdd, d.vdd, w, l);
+        assert_eq!(off, 0.0);
+    }
+
+    #[test]
+    fn linearization_matches_finite_difference_of_mos_id() {
+        let d = Process::cda05().devices().clone();
+        let (w, l) = (1.5e-6, 0.5e-6);
+        let (vd, vg, vs) = (1.7, 2.4, 0.3);
+        let (i0, gd, gg, gs) = mos_linearized(&d, MosType::Nmos, vd, vg, vs, w, l);
+        assert_eq!(i0, mos_id(&d, MosType::Nmos, vd, vg, vs, w, l));
+        let h = 1e-5;
+        let fd = (mos_id(&d, MosType::Nmos, vd + h, vg, vs, w, l)
+            - mos_id(&d, MosType::Nmos, vd - h, vg, vs, w, l))
+            / (2.0 * h);
+        assert!((gd - fd).abs() < 1e-9 * fd.abs().max(1.0));
+        // In saturation-ish bias the gate transconductance dominates the
+        // source conductance magnitude-wise with opposite sign.
+        assert!(gg > 0.0 && gs < 0.0);
+    }
+}

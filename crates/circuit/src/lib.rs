@@ -32,6 +32,7 @@
 //! ```
 
 pub mod campath;
+pub mod device;
 pub mod elmore;
 pub mod le;
 pub mod netlist;
@@ -40,4 +41,4 @@ pub mod snm;
 pub mod tran;
 
 pub use netlist::{DeviceKind, MosType, Netlist, NodeId};
-pub use tran::{TranResult, TransientSim};
+pub use tran::{AdaptiveOptions, SimError, SolverStats, TranResult, TransientSim};

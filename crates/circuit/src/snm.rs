@@ -13,6 +13,7 @@
 //! largest square that fits inside a butterfly lobe, computed with the
 //! standard 45°-rotation method.
 
+use crate::device::level1_nmos_id_dc;
 use bisram_tech::DeviceParams;
 
 /// Geometry of the 6T cell's transistors (widths in metres; all devices
@@ -48,21 +49,11 @@ impl CellGeometry {
     }
 }
 
-/// Level-1 NMOS drain current (duplicated from the transient simulator's
-/// internal model; kept here in its simplest form for DC work).
+/// Level-1 NMOS drain current in the DC (vgs, vds) convention — the
+/// shared device model of [`crate::device`], with channel-length
+/// modulation off for the butterfly curves.
 fn nmos_id(vgs: f64, vds: f64, beta: f64, vt: f64) -> f64 {
-    if vds < 0.0 {
-        return -nmos_id(vgs - vds, -vds, beta, vt);
-    }
-    let vov = vgs - vt;
-    if vov <= 0.0 {
-        return 0.0;
-    }
-    if vds >= vov {
-        0.5 * beta * vov * vov
-    } else {
-        beta * (vov * vds - 0.5 * vds * vds)
-    }
+    level1_nmos_id_dc(vgs, vds, beta, vt)
 }
 
 /// DC transfer curve of one cell inverter: storage node voltage as a

@@ -1,0 +1,172 @@
+//! Adaptive-vs-fixed-step equivalence suite.
+//!
+//! The adaptive driver ([`TransientSim::run_adaptive`]) must reproduce
+//! the golden fixed-step reference ([`TransientSim::run`]) on the two
+//! circuits the paper's experiments lean on — the Fig. 3 current-mode
+//! sense amplifier and the §II sizing inverter — across all three
+//! built-in processes: interpolated crossing times within 1%, final
+//! node voltages within 1 mV.
+//!
+//! The sense-amp netlist is a local replica of the one in
+//! `bisram-bench` (this crate cannot depend on the bench crate).
+
+use bisram_circuit::{AdaptiveOptions, MosType, Netlist, NodeId, TransientSim};
+use bisram_tech::Process;
+
+/// The Fig. 3 cross-coupled latch over the sense nodes, with the cell's
+/// differential current steered off BL from 1 ns.
+fn senseamp_netlist(process: &Process, delta_ua: f64) -> (Netlist, NodeId, NodeId) {
+    let dev = process.devices();
+    let l = process.gate_length_m();
+    let lambda_m = process.rules().lambda() as f64 * 1e-9;
+
+    let mut nl = Netlist::new("fig3_senseamp");
+    let vdd = nl.node("vdd!");
+    let gnd = Netlist::ground();
+    nl.vdc(vdd, gnd, dev.vdd);
+    let bl = nl.node("bl");
+    let blb = nl.node("blb");
+    nl.mos(MosType::Pmos, bl, blb, vdd, 8.0 * lambda_m, l);
+    nl.mos(MosType::Pmos, blb, bl, vdd, 8.0 * lambda_m, l);
+    nl.mos(MosType::Nmos, bl, blb, gnd, 4.0 * lambda_m, l);
+    nl.mos(MosType::Nmos, blb, bl, gnd, 4.0 * lambda_m, l);
+    let c_sense = 50e-15;
+    nl.capacitor(bl, gnd, c_sense);
+    nl.capacitor(blb, gnd, c_sense);
+    let i_cm = 60e-6;
+    nl.ipwl(bl, gnd, vec![(0.0, i_cm)]);
+    nl.ipwl(blb, gnd, vec![(0.0, i_cm)]);
+    nl.ipwl(
+        blb,
+        bl,
+        vec![(0.0, 0.0), (1.0e-9, 0.0), (1.05e-9, delta_ua * 1e-6)],
+    );
+    (nl, bl, blb)
+}
+
+/// The §II sizing inverter testbench: rising input at 1 ns, falling at
+/// 6 ns, 50 ps edges, driving a 40 fF load.
+fn inverter_netlist(process: &Process) -> (Netlist, NodeId) {
+    let dev = process.devices();
+    let l = process.gate_length_m();
+    let mut nl = Netlist::new("sizing_inv");
+    let vdd = nl.node("vdd");
+    let a = nl.node("a");
+    let y = nl.node("y");
+    let gnd = Netlist::ground();
+    nl.vdc(vdd, gnd, dev.vdd);
+    nl.vpwl(
+        a,
+        gnd,
+        vec![
+            (0.0, 0.0),
+            (1.0e-9, 0.0),
+            (1.05e-9, dev.vdd),
+            (6.0e-9, dev.vdd),
+            (6.05e-9, 0.0),
+        ],
+    );
+    nl.mos(MosType::Pmos, y, a, vdd, 2.8e-6, l);
+    nl.mos(MosType::Nmos, y, a, gnd, 1e-6, l);
+    nl.capacitor(y, gnd, 40e-15);
+    (nl, y)
+}
+
+fn assert_crossing_close(name: &str, fixed: Option<f64>, adaptive: Option<f64>) {
+    let tf = fixed.unwrap_or_else(|| panic!("{name}: fixed run lost the crossing"));
+    let ta = adaptive.unwrap_or_else(|| panic!("{name}: adaptive run lost the crossing"));
+    assert!(
+        (ta - tf).abs() / tf < 0.01,
+        "{name}: crossing drifted over 1%: fixed {tf:e}, adaptive {ta:e}"
+    );
+}
+
+#[test]
+fn senseamp_crossings_and_finals_agree_on_every_process() {
+    for process in Process::builtin() {
+        let dev = process.devices();
+        let (nl, bl, blb) = senseamp_netlist(&process, 20.0);
+        let sim = TransientSim::new(&nl, dev).expect("valid topology");
+        let fixed = sim.run(8e-9, 10e-12).expect("fixed-step converges");
+        let adaptive = sim
+            .run_adaptive(8e-9, &AdaptiveOptions::for_span(8e-9))
+            .expect("adaptive converges");
+
+        // The latch regenerates from its metastable point after the
+        // 1 ns differential: one node rails high, the other low. Which
+        // node crosses half-rail in which direction depends on where
+        // the process puts the metastable point, so compare every
+        // half-rail crossing the reference run actually exhibits.
+        let half = dev.vdd / 2.0;
+        let mut crossings_checked = 0;
+        for (node, label) in [(bl, "bl"), (blb, "blb")] {
+            for rising in [true, false] {
+                if let Some(tf) = fixed.crossing_time(node, half, rising, 1e-9) {
+                    crossings_checked += 1;
+                    assert_crossing_close(
+                        &format!("{} {label} rising={rising}", process.name()),
+                        Some(tf),
+                        adaptive.crossing_time(node, half, rising, 1e-9),
+                    );
+                }
+            }
+        }
+        assert!(
+            crossings_checked > 0,
+            "{}: the latch never crossed half-rail — dead testbench",
+            process.name()
+        );
+        for node in [bl, blb] {
+            let vf = fixed.final_voltage(node);
+            let va = adaptive.final_voltage(node);
+            assert!(
+                (vf - va).abs() < 1e-3,
+                "{}: final voltage drifted over 1 mV: fixed {vf}, adaptive {va}",
+                process.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sizing_inverter_crossings_and_finals_agree_on_every_process() {
+    for process in Process::builtin() {
+        let dev = process.devices();
+        let (nl, y) = inverter_netlist(&process);
+        let sim = TransientSim::new(&nl, dev).expect("valid topology");
+        let fixed = sim.run(12e-9, 5e-12).expect("fixed-step converges");
+        let adaptive = sim
+            .run_adaptive(12e-9, &AdaptiveOptions::for_span(12e-9))
+            .expect("adaptive converges");
+
+        let half = dev.vdd / 2.0;
+        assert_crossing_close(
+            &format!("{} output fall", process.name()),
+            fixed.crossing_time(y, half, false, 1e-9),
+            adaptive.crossing_time(y, half, false, 1e-9),
+        );
+        assert_crossing_close(
+            &format!("{} output rise", process.name()),
+            fixed.crossing_time(y, half, true, 6e-9),
+            adaptive.crossing_time(y, half, true, 6e-9),
+        );
+        let vf = fixed.final_voltage(y);
+        let va = adaptive.final_voltage(y);
+        assert!(
+            (vf - va).abs() < 1e-3,
+            "{}: final voltage drifted over 1 mV: fixed {vf}, adaptive {va}",
+            process.name()
+        );
+    }
+}
+
+#[test]
+fn adaptive_runs_are_reproducible() {
+    let process = Process::cda05();
+    let (nl, _, _) = senseamp_netlist(&process, 20.0);
+    let sim = TransientSim::new(&nl, process.devices()).expect("valid topology");
+    let opts = AdaptiveOptions::for_span(8e-9);
+    let a = sim.run_adaptive(8e-9, &opts).expect("converges");
+    let b = sim.run_adaptive(8e-9, &opts).expect("converges");
+    assert_eq!(a, b);
+}

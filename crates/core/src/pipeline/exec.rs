@@ -1,110 +1,9 @@
-//! The scoped-thread task executor behind parallel macrocell generation.
+//! Compatibility re-export of the task executor.
 //!
-//! Deliberately minimal: a fixed task list is distributed over at most
-//! `jobs` `std::thread::scope` workers pulling indices from an atomic
-//! counter. Results land in their task's slot, so the output order is
-//! the input order no matter how the scheduler interleaves workers —
-//! which is what keeps parallel compiles byte-identical to serial ones.
+//! The scoped-thread executor behind parallel macrocell generation was
+//! hoisted into the dependency-free [`bisram_exec`] crate so that leaf
+//! crates (`bisram-field`, `bisram-yield`) can fan their Monte-Carlo
+//! engines over the same worker pool without a dependency cycle. This
+//! module keeps the original `bisramgen::pipeline::exec` paths working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs every task, using up to `jobs` worker threads, and returns the
-/// results in task order. `jobs <= 1` (or a single task) runs inline on
-/// the caller's thread with no spawn overhead.
-///
-/// # Panics
-///
-/// Propagates a panic from any task (the scope joins all workers
-/// first), so a panicking generator fails the compile loudly instead of
-/// losing work silently.
-pub fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let n = tasks.len();
-    if jobs <= 1 || n <= 1 {
-        return tasks.into_iter().map(|f| f()).collect();
-    }
-    let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = jobs.min(n);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let task = queue[i]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let result = task();
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("joined scope has filled every slot")
-        })
-        .collect()
-}
-
-/// Resolves the worker count: an explicit request wins, then the
-/// `BISRAM_JOBS` environment variable, then the machine's available
-/// parallelism. Always at least 1.
-pub fn resolve_jobs(explicit: Option<usize>) -> usize {
-    if let Some(j) = explicit {
-        return j.max(1);
-    }
-    if let Ok(v) = std::env::var("BISRAM_JOBS") {
-        if let Ok(j) = v.trim().parse::<usize>() {
-            return j.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_keep_task_order() {
-        let tasks: Vec<_> = (0..40).map(|i| move || i * 10).collect();
-        let out = run_tasks(8, tasks);
-        assert_eq!(out, (0..40).map(|i| i * 10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn serial_and_parallel_agree() {
-        let mk = || (0..17).map(|i| move || format!("cell_{i}")).collect::<Vec<_>>();
-        assert_eq!(run_tasks(1, mk()), run_tasks(6, mk()));
-    }
-
-    #[test]
-    fn empty_and_single_task_lists_work() {
-        let none: Vec<fn() -> u8> = Vec::new();
-        assert!(run_tasks(4, none).is_empty());
-        assert_eq!(run_tasks(4, vec![|| 7u8]), vec![7]);
-    }
-
-    #[test]
-    fn explicit_jobs_win_and_are_clamped() {
-        assert_eq!(resolve_jobs(Some(3)), 3);
-        assert_eq!(resolve_jobs(Some(0)), 1);
-    }
-
-    #[test]
-    fn defaulted_jobs_are_positive() {
-        assert!(resolve_jobs(None) >= 1);
-    }
-}
+pub use bisram_exec::{resolve_jobs, run_chunked, run_tasks};

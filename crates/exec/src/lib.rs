@@ -1,0 +1,165 @@
+//! The scoped-thread task executor shared across the workspace.
+//!
+//! Originally built for parallel macrocell generation inside
+//! `bisramgen`'s compile pipeline, the executor now also drives the
+//! in-field fleet simulator and the Monte-Carlo yield cross-checks —
+//! leaf crates that `bisramgen` itself depends on, which is why the
+//! executor lives in its own dependency-free crate instead of the
+//! pipeline module (the old location is re-exported for compatibility).
+//!
+//! Deliberately minimal: a fixed task list is distributed over at most
+//! `jobs` `std::thread::scope` workers pulling indices from an atomic
+//! counter. Results land in their task's slot, so the output order is
+//! the input order no matter how the scheduler interleaves workers —
+//! which is what keeps parallel compiles, fleets and yield experiments
+//! byte-identical to serial runs.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs every task, using up to `jobs` worker threads, and returns the
+/// results in task order. `jobs <= 1` (or a single task) runs inline on
+/// the caller's thread with no spawn overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any task (the scope joins all workers
+/// first), so a panicking generator fails the compile loudly instead of
+/// losing work silently.
+pub fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = queue[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = task();
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("joined scope has filled every slot")
+        })
+        .collect()
+}
+
+/// Splits `0..total` into contiguous ranges of at most `chunk` items and
+/// runs `worker` over each range on the executor, returning the partial
+/// results in range order.
+///
+/// The chunk boundaries depend only on `total` and `chunk` — never on
+/// `jobs` — so a caller that merges the partials in the returned order
+/// gets byte-identical aggregates at any worker count. This is the
+/// backbone of the deterministic parallel Monte-Carlo engines.
+pub fn run_chunked<T, F>(jobs: usize, total: usize, chunk: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let chunk = chunk.max(1);
+    let worker = &worker;
+    let tasks: Vec<_> = (0..total)
+        .step_by(chunk)
+        .map(|start| {
+            let end = (start + chunk).min(total);
+            move || worker(start..end)
+        })
+        .collect();
+    run_tasks(jobs, tasks)
+}
+
+/// Resolves the worker count: an explicit request wins, then the
+/// `BISRAM_JOBS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    if let Some(j) = explicit {
+        return j.max(1);
+    }
+    if let Ok(v) = std::env::var("BISRAM_JOBS") {
+        if let Ok(j) = v.trim().parse::<usize>() {
+            return j.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_task_order() {
+        let tasks: Vec<_> = (0..40).map(|i| move || i * 10).collect();
+        let out = run_tasks(8, tasks);
+        assert_eq!(out, (0..40).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || (0..17).map(|i| move || format!("cell_{i}")).collect::<Vec<_>>();
+        assert_eq!(run_tasks(1, mk()), run_tasks(6, mk()));
+    }
+
+    #[test]
+    fn empty_and_single_task_lists_work() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_tasks(4, none).is_empty());
+        assert_eq!(run_tasks(4, vec![|| 7u8]), vec![7]);
+    }
+
+    #[test]
+    fn explicit_jobs_win_and_are_clamped() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(0)), 1);
+    }
+
+    #[test]
+    fn defaulted_jobs_are_positive() {
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn chunked_ranges_cover_everything_in_order() {
+        let partials = run_chunked(4, 23, 5, |r| r.collect::<Vec<_>>());
+        assert_eq!(partials.len(), 5);
+        let flat: Vec<usize> = partials.into_iter().flatten().collect();
+        assert_eq!(flat, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunking_is_independent_of_job_count() {
+        let sums = |jobs| run_chunked(jobs, 100, 7, |r| r.sum::<usize>());
+        assert_eq!(sums(1), sums(2));
+        assert_eq!(sums(1), sums(8));
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped_to_one() {
+        let partials = run_chunked(2, 3, 0, |r| r.len());
+        assert_eq!(partials, vec![1, 1, 1]);
+    }
+}

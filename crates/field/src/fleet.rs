@@ -1,7 +1,13 @@
 //! Fleets of seeded lifetimes → empirical survival curves and MTTF.
 
-use crate::sim::{simulate_lifetime, FailureCause, FieldConfig};
+use crate::sim::{simulate_lifetime, FailureCause, FieldConfig, LifetimeOutcome};
+use bisram_exec::{resolve_jobs, run_chunked};
 use bisram_yield::reliability::SurvivalCurve;
+
+/// Lifetimes per executor task. Fixed (never derived from the job
+/// count), so chunk boundaries — and therefore the merge order of the
+/// partial aggregates — are identical no matter how many workers run.
+const FLEET_CHUNK: usize = 8;
 
 /// Aggregate of `N` independent simulated lifetimes.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,20 +37,105 @@ pub struct FleetResult {
     pub rows_repaired: u64,
 }
 
-/// Runs `lifetimes` seeded lifetimes and aggregates them.
+/// Per-chunk partial aggregate: every counter a worker accumulates
+/// before the in-order merge. All fields are integers, so merging is
+/// exact and the merged totals cannot depend on how work was split.
+#[derive(Debug, Clone)]
+struct FleetPartial {
+    alive: Vec<usize>,
+    deaths: usize,
+    deaths_spare_fault: usize,
+    deaths_exhausted: usize,
+    deaths_persist: usize,
+    sessions_run: u64,
+    sessions_skipped: u64,
+    transients_dismissed: u64,
+    rows_repaired: u64,
+}
+
+impl FleetPartial {
+    fn new(grid_len: usize) -> Self {
+        FleetPartial {
+            alive: vec![0; grid_len],
+            deaths: 0,
+            deaths_spare_fault: 0,
+            deaths_exhausted: 0,
+            deaths_persist: 0,
+            sessions_run: 0,
+            sessions_skipped: 0,
+            transients_dismissed: 0,
+            rows_repaired: 0,
+        }
+    }
+
+    fn absorb(&mut self, out: &LifetimeOutcome, times: &[f64]) {
+        for (slot, &t) in self.alive.iter_mut().zip(times) {
+            if out.alive_at(t) {
+                *slot += 1;
+            }
+        }
+        if out.failure_time_hours.is_some() {
+            self.deaths += 1;
+        }
+        match out.failure_cause {
+            Some(FailureCause::SpareFault) => self.deaths_spare_fault += 1,
+            Some(FailureCause::SparesExhausted) => self.deaths_exhausted += 1,
+            Some(FailureCause::FaultsPersist) => self.deaths_persist += 1,
+            None => {}
+        }
+        self.sessions_run += out.sessions_run as u64;
+        self.sessions_skipped += out.sessions_skipped as u64;
+        self.transients_dismissed += out.transients_dismissed as u64;
+        self.rows_repaired += out.rows_repaired as u64;
+    }
+}
+
+/// Runs `lifetimes` seeded lifetimes and aggregates them, fanning the
+/// work over the default worker count (`BISRAM_JOBS`, else the CPU
+/// count — see [`bisram_exec::resolve_jobs`]).
 ///
 /// Per-lifetime seeds are derived from `base_seed` by mixing in the
 /// lifetime index with a golden-ratio multiply, so fleets are
 /// reproducible (same `base_seed` ⇒ same fleet, byte for byte) yet the
-/// individual streams are decorrelated.
+/// individual streams are decorrelated. The parallel aggregation is
+/// order-preserving, so the result is also independent of the worker
+/// count — see [`simulate_fleet_jobs`].
 ///
 /// # Panics
 ///
 /// Panics when `lifetimes` is zero (a survival fraction needs a
 /// denominator).
 pub fn simulate_fleet(config: &FieldConfig, lifetimes: usize, base_seed: u64) -> FleetResult {
+    simulate_fleet_jobs(config, lifetimes, base_seed, resolve_jobs(None))
+}
+
+/// [`simulate_fleet`] with an explicit worker count.
+///
+/// Determinism contract: the result is byte-identical for every `jobs`
+/// value. Each lifetime's RNG stream depends only on `base_seed` and its
+/// index, chunk boundaries depend only on the fleet size, and the
+/// integer partial aggregates are merged in chunk order.
+///
+/// # Panics
+///
+/// Panics when `lifetimes` or `jobs` is zero.
+pub fn simulate_fleet_jobs(
+    config: &FieldConfig,
+    lifetimes: usize,
+    base_seed: u64,
+    jobs: usize,
+) -> FleetResult {
     assert!(lifetimes > 0, "a fleet needs at least one lifetime");
     let times = config.session_times();
+    let partials = run_chunked(jobs, lifetimes, FLEET_CHUNK, |range| {
+        let mut p = FleetPartial::new(times.len());
+        for i in range {
+            let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            p.absorb(&simulate_lifetime(config, seed), &times);
+        }
+        p
+    });
+
     let mut alive = vec![0usize; times.len()];
     let mut result = FleetResult {
         curve: SurvivalCurve::new(Vec::new(), Vec::new()),
@@ -59,27 +150,18 @@ pub fn simulate_fleet(config: &FieldConfig, lifetimes: usize, base_seed: u64) ->
         transients_dismissed: 0,
         rows_repaired: 0,
     };
-    for i in 0..lifetimes {
-        let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let out = simulate_lifetime(config, seed);
-        for (j, &t) in times.iter().enumerate() {
-            if out.alive_at(t) {
-                alive[j] += 1;
-            }
+    for p in partials {
+        for (total, part) in alive.iter_mut().zip(&p.alive) {
+            *total += part;
         }
-        if out.failure_time_hours.is_some() {
-            result.deaths += 1;
-        }
-        match out.failure_cause {
-            Some(FailureCause::SpareFault) => result.deaths_spare_fault += 1,
-            Some(FailureCause::SparesExhausted) => result.deaths_exhausted += 1,
-            Some(FailureCause::FaultsPersist) => result.deaths_persist += 1,
-            None => {}
-        }
-        result.sessions_run += out.sessions_run as u64;
-        result.sessions_skipped += out.sessions_skipped as u64;
-        result.transients_dismissed += out.transients_dismissed as u64;
-        result.rows_repaired += out.rows_repaired as u64;
+        result.deaths += p.deaths;
+        result.deaths_spare_fault += p.deaths_spare_fault;
+        result.deaths_exhausted += p.deaths_exhausted;
+        result.deaths_persist += p.deaths_persist;
+        result.sessions_run += p.sessions_run;
+        result.sessions_skipped += p.sessions_skipped;
+        result.transients_dismissed += p.transients_dismissed;
+        result.rows_repaired += p.rows_repaired;
     }
     let survival: Vec<f64> = alive.iter().map(|&a| a as f64 / lifetimes as f64).collect();
     result.curve = SurvivalCurve::new(times, survival);
@@ -129,6 +211,18 @@ mod tests {
         assert!(a.curve.survival.iter().all(|r| (0.0..=1.0).contains(r)));
         assert_eq!(a.lifetimes, 64);
         assert!(a.deaths <= a.lifetimes);
+    }
+
+    #[test]
+    fn parallel_fleets_are_byte_identical_across_job_counts() {
+        let cfg = config(3);
+        let one = simulate_fleet_jobs(&cfg, 40, 0xBAD5EED, 1);
+        let two = simulate_fleet_jobs(&cfg, 40, 0xBAD5EED, 2);
+        let eight = simulate_fleet_jobs(&cfg, 40, 0xBAD5EED, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        // And the defaulted entry point agrees with all of them.
+        assert_eq!(one, simulate_fleet(&cfg, 40, 0xBAD5EED));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 mod fleet;
 mod sim;
 
-pub use fleet::{censored_mttf, simulate_fleet, FleetResult};
+pub use fleet::{censored_mttf, simulate_fleet, simulate_fleet_jobs, FleetResult};
 pub use sim::{
     simulate_lifetime, DegradationState, FailureCause, FieldConfig, FieldEvent, LifetimeOutcome,
     SparePolicy,

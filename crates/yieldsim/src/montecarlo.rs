@@ -7,11 +7,18 @@
 //! repairability, which must agree with
 //! [`crate::repairability::repair_probability`].
 
-use bisram_bist::engine::MarchConfig;
+use bisram_bist::engine::{BackgroundSchedule, MarchConfig};
 use bisram_bist::march;
+use bisram_exec::run_chunked;
 use bisram_mem::{random_faults, ArrayOrg, FaultMix, SramModel};
 use bisram_repair::flow::{self, RepairSetup};
-use bisram_rng::Rng;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::{Rng, SeedableRng};
+
+/// Trials per executor task of the seeded parallel engine. Fixed (never
+/// derived from the job count) so the partial tallies always merge in
+/// the same order.
+const TRIAL_CHUNK: usize = 16;
 
 /// Draws a Poisson random variate with the given mean (Knuth's method
 /// for small means, normal approximation above 64).
@@ -47,10 +54,13 @@ pub fn negative_binomial_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64, alpha: 
     poisson_sample(rng, lambda)
 }
 
-/// Standard-normal variate (Box–Muller).
+/// Standard-normal variate (Box–Muller). Both uniforms use the same
+/// half-open `(0, 1)` guard: `u1` because `ln(0)` is `-∞`, `u2` so the
+/// angle draw comes from the identical distribution rather than the
+/// raw `[0, 1)` of `gen()`.
 fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
+    let u2: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -118,20 +128,7 @@ pub fn simulate_yield<R: Rng + ?Sized>(
     trials: usize,
     clustering: Option<f64>,
 ) -> MonteCarloYield {
-    let setup = RepairSetup {
-        test: march::mats_plus(),
-        march: MarchConfig::default(),
-        max_passes: 2,
-    };
-    let quick = MarchConfig {
-        schedule: bisram_bist::engine::BackgroundSchedule::Single,
-        ..MarchConfig::default()
-    };
-    let setup = RepairSetup {
-        march: quick,
-        ..setup
-    };
-
+    let setup = yield_setup();
     let mut result = MonteCarloYield {
         trials,
         already_good: 0,
@@ -139,21 +136,96 @@ pub fn simulate_yield<R: Rng + ?Sized>(
         unrepairable: 0,
     };
     for _ in 0..trials {
-        let n = match clustering {
-            Some(alpha) => negative_binomial_sample(rng, mean_defects, alpha),
-            None => poisson_sample(rng, mean_defects),
-        }
-        .min(org.total_cells());
-        let mut ram = SramModel::new(org);
-        ram.inject_all(random_faults(rng, &org, n, &FaultMix::stuck_at_only()));
-        let report = flow::self_test_and_repair(&mut ram, &setup);
-        match report.outcome {
-            flow::RepairOutcome::AlreadyGood => result.already_good += 1,
-            flow::RepairOutcome::Repaired { .. } => result.repaired += 1,
-            flow::RepairOutcome::Unsuccessful { .. } => result.unrepairable += 1,
-        }
+        run_trial(rng, org, mean_defects, clustering, &setup, &mut result);
     }
     result
+}
+
+/// The seeded, parallel variant of [`simulate_yield`]: each trial draws
+/// from its own RNG seeded by mixing the trial index into `base_seed`
+/// with a golden-ratio multiply (the same derivation the fleet simulator
+/// uses), and the trials fan out over `jobs` executor workers.
+///
+/// Determinism contract: the result depends only on the arguments —
+/// never on `jobs` — because per-trial streams are index-derived, chunk
+/// boundaries depend only on `trials`, and the integer tallies merge in
+/// chunk order. Note the trial streams differ from the single-stream
+/// [`simulate_yield`], so the two engines agree statistically, not byte
+/// for byte.
+pub fn simulate_yield_seeded(
+    base_seed: u64,
+    org: ArrayOrg,
+    mean_defects: f64,
+    trials: usize,
+    clustering: Option<f64>,
+    jobs: usize,
+) -> MonteCarloYield {
+    let setup = yield_setup();
+    let partials = run_chunked(jobs, trials, TRIAL_CHUNK, |range| {
+        let mut tally = MonteCarloYield {
+            trials: range.len(),
+            already_good: 0,
+            repaired: 0,
+            unrepairable: 0,
+        };
+        for i in range {
+            let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_trial(&mut rng, org, mean_defects, clustering, &setup, &mut tally);
+        }
+        tally
+    });
+    let mut result = MonteCarloYield {
+        trials,
+        already_good: 0,
+        repaired: 0,
+        unrepairable: 0,
+    };
+    for p in partials {
+        result.already_good += p.already_good;
+        result.repaired += p.repaired;
+        result.unrepairable += p.unrepairable;
+    }
+    result
+}
+
+/// The shared flow configuration: MATS+ with a single background —
+/// detects every stuck-at fault, keeping the cross-check fast while
+/// remaining end-to-end.
+fn yield_setup() -> RepairSetup {
+    RepairSetup {
+        test: march::mats_plus(),
+        march: MarchConfig {
+            schedule: BackgroundSchedule::Single,
+            ..MarchConfig::default()
+        },
+        max_passes: 2,
+    }
+}
+
+/// One defect pattern through the full self-test-and-repair flow,
+/// tallied into `result`.
+fn run_trial<R: Rng + ?Sized>(
+    rng: &mut R,
+    org: ArrayOrg,
+    mean_defects: f64,
+    clustering: Option<f64>,
+    setup: &RepairSetup,
+    result: &mut MonteCarloYield,
+) {
+    let n = match clustering {
+        Some(alpha) => negative_binomial_sample(rng, mean_defects, alpha),
+        None => poisson_sample(rng, mean_defects),
+    }
+    .min(org.total_cells());
+    let mut ram = SramModel::new(org);
+    ram.inject_all(random_faults(rng, &org, n, &FaultMix::stuck_at_only()));
+    let report = flow::self_test_and_repair(&mut ram, setup);
+    match report.outcome {
+        flow::RepairOutcome::AlreadyGood => result.already_good += 1,
+        flow::RepairOutcome::Repaired { .. } => result.repaired += 1,
+        flow::RepairOutcome::Unsuccessful { .. } => result.unrepairable += 1,
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +234,66 @@ mod tests {
     use crate::repairability::repair_probability;
     use bisram_rng::rngs::StdRng;
     use bisram_rng::SeedableRng;
+
+    /// An RNG whose every draw is the all-zero word — the worst case for
+    /// uniform-to-`(0,1)` mapping.
+    struct ZeroRng;
+
+    impl bisram_rng::RngCore for ZeroRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn box_muller_is_finite_on_degenerate_draws() {
+        // Regression for the unguarded u2 draw: with both uniforms
+        // forced to their floor the variate must stay finite (the old
+        // `rng.gen()` path handed `u2 = 0` straight to the angle term).
+        let z = box_muller(&mut ZeroRng);
+        assert!(z.is_finite(), "degenerate draws must not blow up: {z}");
+        // And a seeded stream keeps producing plausible, finite normals.
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 2000;
+        let samples: Vec<f64> = (0..n).map(|_| box_muller(&mut rng)).collect();
+        assert!(samples.iter().all(|z| z.is_finite()));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|z| (z - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "standard normal mean came out {mean}");
+        assert!((var - 1.0).abs() < 0.15, "standard normal variance came out {var}");
+    }
+
+    #[test]
+    fn seeded_yield_is_byte_identical_across_job_counts() {
+        let org = ArrayOrg::new(128, 8, 4, 2).unwrap();
+        let one = simulate_yield_seeded(0xC0FFEE, org, 2.5, 48, None, 1);
+        let two = simulate_yield_seeded(0xC0FFEE, org, 2.5, 48, None, 2);
+        let eight = simulate_yield_seeded(0xC0FFEE, org, 2.5, 48, None, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        assert_eq!(one.trials, 48);
+        assert_eq!(
+            one.already_good + one.repaired + one.unrepairable,
+            one.trials
+        );
+        // Clustered draws go through the same deterministic machinery.
+        let c1 = simulate_yield_seeded(7, org, 2.5, 48, Some(0.5), 1);
+        let c8 = simulate_yield_seeded(7, org, 2.5, 48, Some(0.5), 8);
+        assert_eq!(c1, c8);
+    }
+
+    #[test]
+    fn seeded_yield_matches_analytic_repairability() {
+        let org = ArrayOrg::new(256, 8, 4, 4).unwrap();
+        let mean = 3.0;
+        let mc = simulate_yield_seeded(11, org, mean, 300, None, 4);
+        let analytic = repair_probability(&org, mean);
+        let empirical = mc.usable_fraction();
+        assert!(
+            (empirical - analytic).abs() < 0.08,
+            "empirical {empirical:.3} vs analytic {analytic:.3}"
+        );
+    }
 
     #[test]
     fn poisson_sample_mean_and_variance() {
