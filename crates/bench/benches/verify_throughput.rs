@@ -1,0 +1,101 @@
+//! Verification throughput: scanline DRC vs the legacy pairwise checker
+//! on a flattened array macrocell.
+//!
+//! A 32x32 SRAM bit array is tiled from the 6T leaf and flattened to a
+//! single `(Layer, Rect)` database (~30k shapes), then both DRC cores
+//! run over it: the interval-sweep scanline engine that `bisram-verify`
+//! and the Signoff stage use, and the original O(n²) all-pairs loop kept
+//! as the reference baseline. Both must report the layout clean and the
+//! scanline core must be at least 5x faster; the speedup is asserted
+//! even in smoke mode (`BISRAM_BENCH_SMOKE=1`), which is what CI runs.
+//! A third measurement times the full verification path (DRC +
+//! extraction + LVS) through `verify_cell` for scale.
+
+use bisram_bench::harness::black_box;
+use bisram_bench::{banner, quick_harness};
+use bisram_geom::{Point, Transform};
+use bisram_layout::leaf::LeafSpec;
+use bisram_layout::Cell;
+use bisram_tech::{drc, Process};
+use bisram_verify::{verify_cell, SchematicLib};
+use std::sync::Arc;
+
+const ROWS: i64 = 32;
+const COLS: i64 = 32;
+
+fn array_macro(process: &Process) -> Cell {
+    let lam = process.rules().lambda();
+    let sram = Arc::new(LeafSpec::Sram6t.build(process));
+    let mut array = Cell::new("bench_array");
+    for row in 0..ROWS {
+        for col in 0..COLS {
+            array.add_instance(
+                format!("b{row}_{col}"),
+                sram.clone(),
+                Transform::translate(Point::new(col * 26 * lam, row * 40 * lam)),
+            );
+        }
+    }
+    array
+}
+
+fn main() {
+    banner(
+        "verify_throughput",
+        "scanline DRC vs legacy pairwise checker on a flattened array macro",
+    );
+    let process = Process::cda07();
+    let rules = process.rules();
+    let array = array_macro(&process);
+    let shapes = array.flatten();
+    println!(
+        "flattened {}x{} bit array: {} shapes ({})",
+        ROWS,
+        COLS,
+        shapes.len(),
+        process.name(),
+    );
+
+    // Both cores must agree the tiling is clean before timing means
+    // anything.
+    let fast = drc::check(rules, shapes.iter().copied());
+    let slow = drc::check_pairwise(rules, shapes.iter().copied());
+    assert_eq!(fast, slow, "scanline and pairwise checkers disagree");
+    assert!(fast.is_empty(), "bench array is not DRC-clean: {fast:?}");
+
+    let mut h = quick_harness();
+    h.bench_function("drc_scanline", |b| {
+        b.iter(|| black_box(drc::check(rules, shapes.iter().copied())))
+    });
+    h.bench_function("drc_pairwise", |b| {
+        b.iter(|| black_box(drc::check_pairwise(rules, shapes.iter().copied())))
+    });
+    let lib = SchematicLib::standard(&process);
+    h.bench_function("verify_cell_full", |b| {
+        b.iter(|| black_box(verify_cell(rules, &array, &lib)))
+    });
+
+    let scan = h.measurements().iter().find(|m| m.name == "drc_scanline");
+    let pair = h.measurements().iter().find(|m| m.name == "drc_pairwise");
+    if let (Some(scan), Some(pair)) = (scan, pair) {
+        let speedup = pair.median / scan.median.max(1e-12);
+        println!(
+            "scanline: {} shapes in {:.2} ms   pairwise: {:.2} ms   speedup: {:.1}x",
+            shapes.len(),
+            scan.median * 1e3,
+            pair.median * 1e3,
+            speedup,
+        );
+        // The 5x floor is the acceptance bar for retiring the pairwise
+        // core from the hot path; it must hold even on a single-shot
+        // smoke timing, so no smoke-mode escape hatch here.
+        assert!(
+            speedup >= 5.0,
+            "scanline DRC must beat the pairwise checker by at least 5x \
+             on a flattened array macro, measured {speedup:.2}x"
+        );
+        println!("PASS: scanline >= 5x pairwise ({speedup:.1}x)");
+    }
+
+    h.final_summary();
+}

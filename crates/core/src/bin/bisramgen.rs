@@ -29,6 +29,7 @@ struct Args {
     cif: bool,
     jobs: Option<usize>,
     timings: bool,
+    verify: bool,
 }
 
 impl Default for Args {
@@ -46,6 +47,7 @@ impl Default for Args {
             cif: false,
             jobs: None,
             timings: false,
+            verify: false,
         }
     }
 }
@@ -68,6 +70,8 @@ OPTIONS:
   --cif            also write the flattened CIF (small modules only)
   --jobs N         macrocell worker threads (default: BISRAM_JOBS, then all cores)
   --timings        print the per-stage pipeline trace (wall time, cache hits)
+  --verify         run physical verification (DRC + extraction + LVS) on every
+                   macrocell; writes verify.txt, exits nonzero on violations
   --help           show this text
 ";
 
@@ -97,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
             "--cif" => args.cif = true,
             "--jobs" => args.jobs = Some(parse_num(&value("--jobs")?)?),
             "--timings" => args.timings = true,
+            "--verify" => args.verify = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -128,7 +133,7 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     eprintln!("compiling {params} ...");
-    let mut options = CompileOptions::new();
+    let mut options = CompileOptions::new().with_verify(args.verify);
     if let Some(jobs) = args.jobs {
         options = options.with_jobs(jobs);
     }
@@ -162,6 +167,23 @@ fn run() -> Result<(), String> {
     write("trpla_and.plane", &and_plane)?;
     write("trpla_or.plane", &or_plane)?;
     write("sense_path.sp", &ram.sense_path_spice())?;
+    let mut verify_dirty = false;
+    if let Some(report) = ram.verify_report() {
+        write("verify.txt", &report.to_string())?;
+        if report.is_clean() {
+            eprintln!(
+                "  verify: clean ({} macrocells, 0 drc violations, 0 lvs mismatches)",
+                report.cells.len()
+            );
+        } else {
+            verify_dirty = true;
+            eprintln!(
+                "  verify: DIRTY ({} drc violations, {} lvs mismatches) — see verify.txt",
+                report.drc_violations(),
+                report.lvs_mismatches()
+            );
+        }
+    }
     if args.cif {
         if params.org().cells() > 200_000 {
             eprintln!("  skipping CIF: module too large for a flattened export");
@@ -177,6 +199,9 @@ fn run() -> Result<(), String> {
         ram.areas().overhead_fraction() * 100.0,
         ram.datasheet().access_time_s * 1e9
     );
+    if verify_dirty {
+        return Err("physical verification found violations".to_owned());
+    }
     Ok(())
 }
 

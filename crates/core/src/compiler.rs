@@ -189,6 +189,13 @@ impl CompiledRam {
         &self.signoff.datasheet
     }
 
+    /// The physical verification report (DRC + extraction + LVS over
+    /// every macrocell), present when the compile ran with
+    /// [`CompileOptions::with_verify`].
+    pub fn verify_report(&self) -> Option<&bisram_verify::VerifyReport> {
+        self.signoff.verify.as_deref()
+    }
+
     /// The TRPLA control program (two-pass IFA-9 test and repair).
     pub fn control_program(&self) -> &ControlProgram {
         &self.control.program

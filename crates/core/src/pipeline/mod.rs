@@ -12,7 +12,7 @@
 //! | [`leaves::LeafStage`] | [`leaves::LeafSet`] | process, gate size, row bits |
 //! | [`macrocells::MacroStage`] | [`macrocells::MacroSet`] | full geometry + PLA |
 //! | [`floorplan::FloorplanStage`] | [`floorplan::Floorplan`] | full geometry |
-//! | [`signoff::SignoffStage`] | [`signoff::Signoff`] | full parameter set |
+//! | [`signoff::SignoffStage`] | [`signoff::Signoff`] | full parameter set (+ macrocells when verifying) |
 //!
 //! Each stage declares a deterministic **content key** over the subset
 //! of `(RamParams, Process)` it actually reads ([`key`]), and every
@@ -85,15 +85,17 @@ pub trait Stage {
 pub struct CompileOptions {
     jobs: Option<usize>,
     cache: Arc<CellCache>,
+    verify: bool,
 }
 
 impl Default for CompileOptions {
     /// The production default: the process-wide shared cache
-    /// ([`CellCache::global`]) and automatic parallelism.
+    /// ([`CellCache::global`]), automatic parallelism, no verification.
     fn default() -> Self {
         CompileOptions {
             jobs: None,
             cache: Arc::clone(CellCache::global()),
+            verify: false,
         }
     }
 }
@@ -110,6 +112,7 @@ impl CompileOptions {
         CompileOptions {
             jobs: None,
             cache: Arc::new(CellCache::new()),
+            verify: false,
         }
     }
 
@@ -131,6 +134,20 @@ impl CompileOptions {
         &self.cache
     }
 
+    /// Requests full physical verification (scanline DRC, extraction,
+    /// LVS) of every macrocell during signoff; the report lands on
+    /// [`Signoff::verify`](signoff::Signoff) and
+    /// `CompiledRam::verify_report`.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Whether signoff will run physical verification.
+    pub fn verify(&self) -> bool {
+        self.verify
+    }
+
     /// The explicit worker count, if fixed.
     pub fn jobs(&self) -> Option<usize> {
         self.jobs
@@ -145,6 +162,7 @@ pub struct PipelineCtx<'a> {
     pub params: &'a RamParams,
     cache: Arc<CellCache>,
     jobs: usize,
+    verify: bool,
     traces: Mutex<Vec<StageTrace>>,
 }
 
@@ -156,6 +174,7 @@ impl<'a> PipelineCtx<'a> {
             params,
             cache: Arc::clone(options.cache()),
             jobs: exec::resolve_jobs(options.jobs()),
+            verify: options.verify(),
             traces: Mutex::new(Vec::new()),
         }
     }
@@ -168,6 +187,11 @@ impl<'a> PipelineCtx<'a> {
     /// Worker threads the macrocell stage may use.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Whether signoff should run physical verification.
+    pub fn verify(&self) -> bool {
+        self.verify
     }
 
     /// Fingerprint of the target process (see
@@ -285,7 +309,10 @@ pub(crate) fn run_pipeline(
     let floorplan = ctx.run_stage(&floorplan::FloorplanStage {
         macros: Arc::clone(&macros),
     })?;
-    let signoff = ctx.run_stage(&signoff::SignoffStage)?;
+    let signoff = ctx.run_stage(&signoff::SignoffStage {
+        macros: Arc::clone(&macros),
+        pla: control.pla.clone(),
+    })?;
     Ok(PipelineOutput {
         control,
         macros,

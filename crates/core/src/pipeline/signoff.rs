@@ -1,24 +1,114 @@
-//! Stage 5 — signoff: the extrapolated datasheet.
+//! Stage 5 — signoff: the extrapolated datasheet, plus (on request)
+//! full physical verification of every macrocell.
+//!
+//! Verification runs the three `bisram-verify` engines — scanline DRC,
+//! connectivity extraction, and LVS against schematics composed from
+//! the leaf library — over each tiled macrocell. Macrocells are
+//! verified **in parallel** on the same scoped-thread executor the
+//! macrocell stage uses, and each per-macro result is content-keyed
+//! (kind `verify`) so sweeps re-verify only the macros that actually
+//! changed.
 
 use super::key::content_key;
-use super::{PipelineCtx, Stage};
+use super::leaves::LeafKey;
+use super::macrocells::MacroSet;
+use super::{exec, PipelineCtx, Stage};
 use crate::compiler::CompileError;
 use crate::datasheet::Datasheet;
+use bisram_bist::trpla::Pla;
+use bisram_layout::leaf::LeafSpec;
+use bisram_verify::{verify_cell, CellVerifyReport, SchematicLib, VerifyReport};
+use std::sync::Arc;
 
 /// The signoff artifact: electrical extrapolations for the datasheet
-/// (access/cycle time, power, the TLB delay-masking check).
+/// (access/cycle time, power, the TLB delay-masking check) and, when
+/// the compile asked for it, the physical verification report.
 #[derive(Debug, Clone)]
 pub struct Signoff {
     /// The extrapolated datasheet.
     pub datasheet: Datasheet,
+    /// DRC + LVS over every macrocell
+    /// ([`CompileOptions::with_verify`](super::CompileOptions::with_verify)).
+    pub verify: Option<Arc<VerifyReport>>,
 }
 
-/// Builds the [`Signoff`]. Reads the full parameter set (organization,
-/// process electricals, gate sizing) but none of the layout artifacts —
-/// extrapolation is analytic, which is why this stage can run without
-/// waiting on the floorplan.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SignoffStage;
+/// Builds the [`Signoff`]. The datasheet reads the full parameter set
+/// (organization, process electricals, gate sizing); verification
+/// additionally reads the stage-3 macrocells and the PLA personality
+/// that shaped them.
+#[derive(Debug, Clone)]
+pub struct SignoffStage {
+    /// Stage-3 artifact (the cells verification checks).
+    pub macros: Arc<MacroSet>,
+    /// The PLA personality (part of the verify cache key: it is the one
+    /// macrocell input the parameter fingerprint does not cover).
+    pub pla: Pla,
+}
+
+/// The leaf specs a compile's macrocells are tiled from — the
+/// schematic library [`verify_macros`] composes references out of.
+/// Must stay in lockstep with `LeafStage::run`.
+fn leaf_specs(key: &LeafKey) -> Vec<LeafSpec> {
+    vec![
+        LeafSpec::Sram6t,
+        LeafSpec::RowDecoder {
+            address_bits: key.row_bits,
+        },
+        LeafSpec::WordlineDriver {
+            size_factor: key.gate_size,
+        },
+        LeafSpec::Precharge {
+            size_factor: key.gate_size,
+        },
+        LeafSpec::ColMux,
+        LeafSpec::SenseAmp,
+        LeafSpec::WriteDriver,
+        LeafSpec::Dff,
+        LeafSpec::CounterBit,
+        LeafSpec::Xor2,
+        LeafSpec::CamBit,
+        LeafSpec::PlaCrosspoint { programmed: true },
+        LeafSpec::PlaCrosspoint { programmed: false },
+        LeafSpec::PlaPullup,
+    ]
+}
+
+/// Runs DRC + LVS over every macrocell, in parallel, each macro cached
+/// under kind `verify`.
+fn verify_macros(
+    ctx: &PipelineCtx<'_>,
+    macros: &MacroSet,
+    pla: &Pla,
+) -> Result<VerifyReport, CompileError> {
+    let process = ctx.params.process();
+    let rules = process.rules();
+    let lib = Arc::new(SchematicLib::for_leaves(
+        &leaf_specs(&LeafKey::of(ctx)),
+        process,
+    ));
+    let fp = ctx.params_fingerprint();
+    let tasks: Vec<_> = macros
+        .cells
+        .iter()
+        .map(|(name, cell)| {
+            let lib = Arc::clone(&lib);
+            let cell = Arc::clone(cell);
+            move || {
+                ctx.cache()
+                    .get_or_build("verify", content_key(&(fp, pla, *name)), || {
+                        Ok(verify_cell(rules, &cell, &lib))
+                    })
+            }
+        })
+        .collect();
+    let cells: Vec<Arc<CellVerifyReport>> = exec::run_tasks(ctx.jobs(), tasks)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    Ok(VerifyReport {
+        process: process.name().to_string(),
+        cells: cells.iter().map(|c| (**c).clone()).collect(),
+    })
+}
 
 impl Stage for SignoffStage {
     type Artifact = Signoff;
@@ -26,19 +116,94 @@ impl Stage for SignoffStage {
     const NAME: &'static str = "signoff";
 
     fn key(&self, ctx: &PipelineCtx<'_>) -> super::key::ContentKey {
-        content_key(&ctx.params_fingerprint())
+        content_key(&(ctx.params_fingerprint(), ctx.verify(), &self.pla))
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>) -> Result<Signoff, CompileError> {
+        let verify = if ctx.verify() {
+            Some(Arc::new(verify_macros(ctx, &self.macros, &self.pla)?))
+        } else {
+            None
+        };
         Ok(Signoff {
             datasheet: Datasheet::extrapolate(ctx.params),
+            verify,
         })
     }
 
     fn describe(artifact: &Signoff) -> String {
-        format!(
-            "access {:.2} ns",
-            artifact.datasheet.access_time_s * 1e9
-        )
+        let mut s = format!("access {:.2} ns", artifact.datasheet.access_time_s * 1e9);
+        if let Some(v) = &artifact.verify {
+            s.push_str(if v.is_clean() {
+                ", verify clean"
+            } else {
+                ", verify DIRTY"
+            });
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::control::ControlStage;
+    use crate::pipeline::leaves::LeafStage;
+    use crate::pipeline::macrocells::MacroStage;
+    use crate::pipeline::CompileOptions;
+    use crate::RamParams;
+
+    fn small() -> RamParams {
+        RamParams::builder()
+            .words(64)
+            .bits_per_word(4)
+            .bits_per_column(4)
+            .spare_rows(4)
+            .build()
+            .unwrap()
+    }
+
+    fn signoff_with(opts: &CompileOptions) -> Signoff {
+        let params = small();
+        let ctx = PipelineCtx::new(&params, opts);
+        let control = ctx.run_stage(&ControlStage).unwrap();
+        let leaves = ctx.run_stage(&LeafStage).unwrap();
+        let macros = ctx
+            .run_stage(&MacroStage {
+                control: Arc::clone(&control),
+                leaves,
+            })
+            .unwrap();
+        let stage = SignoffStage {
+            macros,
+            pla: control.pla.clone(),
+        };
+        stage.run(&ctx).unwrap()
+    }
+
+    #[test]
+    fn verification_is_off_by_default() {
+        let signoff = signoff_with(&CompileOptions::cold());
+        assert!(signoff.verify.is_none());
+        assert!(!SignoffStage::describe(&signoff).contains("verify"));
+    }
+
+    #[test]
+    fn verification_covers_every_macro_and_is_clean() {
+        let signoff = signoff_with(&CompileOptions::cold().with_verify(true));
+        let report = signoff.verify.as_ref().expect("verify requested");
+        assert_eq!(report.cells.len(), 12);
+        assert!(report.is_clean(), "{report}");
+        assert!(SignoffStage::describe(&signoff).contains("verify clean"));
+    }
+
+    #[test]
+    fn per_macro_results_are_cache_shared() {
+        let opts = CompileOptions::cold().with_verify(true);
+        let _ = signoff_with(&opts);
+        let misses = opts.cache().misses();
+        let _ = signoff_with(&opts);
+        // Second run: every per-macro verify (and everything else) hits.
+        assert_eq!(opts.cache().misses(), misses);
     }
 }

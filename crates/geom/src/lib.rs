@@ -13,7 +13,9 @@
 //! * [`Orientation`] — the eight layout orientations with composition,
 //! * [`Transform`] — orientation + translation placement transforms,
 //! * [`LayerId`] — a small index newtype shared with the technology crate,
-//! * [`Port`] — a named, layered rectangle on a cell boundary.
+//! * [`Port`] — a named, layered rectangle on a cell boundary,
+//! * [`sweep`] — interval-sweep primitives (proximity pair enumeration,
+//!   union–find, exact coverage) shared by the DRC and extraction engines.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@ mod orient;
 mod point;
 mod port;
 mod rect;
+pub mod sweep;
 mod transform;
 
 pub use orient::Orientation;

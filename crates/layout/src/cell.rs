@@ -124,17 +124,26 @@ impl Cell {
     /// Flattens the hierarchy to `(Layer, Rect)` pairs in this cell's
     /// coordinates — the DRC and export input.
     pub fn flatten(&self) -> Vec<(Layer, Rect)> {
-        let mut out = Vec::new();
-        self.flatten_into(Transform::IDENTITY, &mut out);
+        let mut out = Vec::with_capacity(self.flat_shape_count());
+        self.flatten_rec(Transform::IDENTITY, &mut out);
         out
     }
 
-    fn flatten_into(&self, t: Transform, out: &mut Vec<(Layer, Rect)>) {
+    /// Flattens into a caller-provided buffer (appending), so repeated
+    /// flattening — the per-macrocell verify loop — reuses one
+    /// allocation. `flatten()` is equivalent to clearing the buffer
+    /// first.
+    pub fn flatten_into(&self, out: &mut Vec<(Layer, Rect)>) {
+        out.reserve(self.flat_shape_count());
+        self.flatten_rec(Transform::IDENTITY, out);
+    }
+
+    fn flatten_rec(&self, t: Transform, out: &mut Vec<(Layer, Rect)>) {
         for (layer, rect) in &self.shapes {
             out.push((*layer, t.apply_rect(*rect)));
         }
         for inst in &self.instances {
-            inst.master.flatten_into(inst.transform.then(t), out);
+            inst.master.flatten_rec(inst.transform.then(t), out);
         }
     }
 
@@ -212,6 +221,27 @@ mod tests {
         top.add_instance("a", leaf(), Transform::IDENTITY);
         top.add_instance("b", leaf(), Transform::translate(Point::new(500, 0)));
         assert_eq!(top.flat_shape_count(), 3);
+    }
+
+    #[test]
+    fn flatten_into_agrees_with_flatten() {
+        let mut mid = Cell::new("mid");
+        mid.add_instance("l", leaf(), Transform::translate(Point::new(10, 0)));
+        mid.add_shape(Layer::Poly, Rect::new(0, 0, 5, 5));
+        let mut top = Cell::new("top");
+        top.add_instance(
+            "m",
+            Arc::new(mid),
+            Transform::new(Orientation::R90, Point::new(7, -3)),
+        );
+        top.add_instance("l2", leaf(), Transform::translate(Point::new(300, 0)));
+
+        let mut buf = vec![(Layer::Metal2, Rect::new(9, 9, 10, 10))];
+        top.flatten_into(&mut buf);
+        // Appends after existing contents; the appended tail equals
+        // flatten().
+        assert_eq!(buf[0], (Layer::Metal2, Rect::new(9, 9, 10, 10)));
+        assert_eq!(&buf[1..], top.flatten().as_slice());
     }
 
     #[test]

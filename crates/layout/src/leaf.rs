@@ -4,8 +4,10 @@
 //! grid, which is what makes the layouts design-rule independent (paper
 //! §II). The geometries are simplified but structurally faithful — the
 //! right layers in the right topology at the right pitches — and every
-//! cell is kept clean under the workspace DRC both standalone and when
-//! tiled at its abutment pitch (see the tests here and in `tile`).
+//! cell is kept clean under the full verification engine (widths,
+//! spacings, enclosures, gate/source-drain extensions) both standalone
+//! and when tiled at its abutment pitch (see the tests here, in `tile`,
+//! and in the `bisram-verify` crate).
 //!
 //! Pitch contracts the macrocells rely on:
 //!
@@ -87,7 +89,10 @@ impl<'a> Sketch<'a> {
 ///
 /// Implements the layout template of paper §VII with near-zero critical
 /// area for fatal (supply-shorting) defects: the supply rails are narrow
-/// and the cell interior keeps metal1 islands well separated.
+/// and the cell interior keeps metal1 islands well separated. The two
+/// pull-up transistors share one diffusion strip inside the well; the
+/// contacted storage-node landings satisfy the full enclosure and
+/// extension rules of every built-in process.
 pub fn sram6t(process: &Process) -> Cell {
     let mut s = Sketch::new("sram6t", process);
     s.outline(SRAM_W, SRAM_H);
@@ -99,25 +104,24 @@ pub fn sram6t(process: &Process) -> Cell {
     s.rect(Layer::Metal1, 0, 22, SRAM_W, 25); // VDD rail
     s.rect(Layer::Nwell, 0, 21, SRAM_W, SRAM_H); // PMOS well
     // NMOS half (pull-downs + access).
-    s.rect(Layer::Active, 6, 5, 11, 14);
-    s.rect(Layer::Active, 15, 5, 20, 14);
-    s.rect(Layer::Poly, 8, 3, 10, 16);
-    s.rect(Layer::Poly, 16, 3, 18, 16);
-    s.rect(Layer::Nselect, 4, 3, 22, 16);
-    s.rect(Layer::Contact, 6, 6, 8, 8);
-    s.rect(Layer::Contact, 18, 6, 20, 8);
-    s.rect(Layer::Metal1, 6, 6, 11, 9); // storage node A strap
-    s.rect(Layer::Metal1, 15, 6, 20, 9); // storage node B strap
-    // PMOS half (pull-ups).
-    s.rect(Layer::Active, 6, 27, 11, 36);
-    s.rect(Layer::Active, 15, 27, 20, 36);
-    s.rect(Layer::Poly, 8, 26, 10, 37);
-    s.rect(Layer::Poly, 16, 26, 18, 37);
+    s.rect(Layer::Active, 3, 5, 11, 14);
+    s.rect(Layer::Active, 15, 5, 23, 14);
+    s.rect(Layer::Poly, 6, 3, 8, 16);
+    s.rect(Layer::Poly, 18, 3, 20, 16);
+    s.rect(Layer::Nselect, 1, 3, 25, 16);
+    s.rect(Layer::Contact, 4, 7, 6, 9);
+    s.rect(Layer::Contact, 20, 7, 22, 9);
+    s.rect(Layer::Metal1, 3, 6, 7, 10); // storage node A strap
+    s.rect(Layer::Metal1, 19, 6, 23, 10); // storage node B strap
+    // PMOS half (pull-ups on a shared diffusion strip).
+    s.rect(Layer::Active, 6, 27, 20, 34);
+    s.rect(Layer::Poly, 9, 25, 11, 36);
+    s.rect(Layer::Poly, 15, 25, 17, 36);
     s.rect(Layer::Pselect, 4, 25, 22, 38);
-    s.rect(Layer::Contact, 6, 33, 8, 35);
-    s.rect(Layer::Contact, 18, 33, 20, 35);
-    s.rect(Layer::Metal1, 6, 32, 11, 35);
-    s.rect(Layer::Metal1, 15, 32, 20, 35);
+    s.rect(Layer::Contact, 7, 29, 9, 31);
+    s.rect(Layer::Contact, 17, 29, 19, 31);
+    s.rect(Layer::Metal1, 6, 28, 10, 32);
+    s.rect(Layer::Metal1, 16, 28, 20, 32);
 
     s.port("bl", Layer::Metal2, Side::South, 2, 0, 5, 4, PortDirection::Inout);
     s.port("blb", Layer::Metal2, Side::South, 21, 0, 24, 4, PortDirection::Inout);
@@ -138,27 +142,19 @@ pub fn precharge(process: &Process, size_factor: Coord) -> Cell {
     // Bitline stubs at the array pitch.
     s.rect(Layer::Metal2, 2, 0, 5, h);
     s.rect(Layer::Metal2, 21, 0, 24, h);
-    // PMOS precharge devices (in a shared well strip).
-    s.rect(Layer::Nwell, 0, 0, SRAM_W, h);
-    let aw = 3 + size_factor; // device width grows with the factor
-    s.rect(Layer::Active, 6, 4, 6 + aw, 4 + aw.max(5));
-    s.rect(Layer::Active, 20 - aw, 4, 20, 4 + aw.max(5));
-    // Shared precharge clock gate.
-    s.rect(Layer::Poly, 0, 10 + aw, SRAM_W, 12 + aw);
-    s.rect(Layer::Pselect, 2, 2, 24, 8 + aw);
+    // PMOS precharge devices crossed by a shared clock gate. The well
+    // overhangs the outline so the diffusions keep their 6λ enclosure;
+    // neighbouring column cells' wells merge by overlap.
+    s.rect(Layer::Nwell, -4, -3, 30, h + 5);
+    let aw = (3 + size_factor).min(9); // device width grows with the factor
+    s.rect(Layer::Active, 2, 3, 2 + aw, 13);
+    s.rect(Layer::Active, 24 - aw, 3, 24, 13);
+    s.rect(Layer::Poly, 0, 6, SRAM_W, 8); // shared precharge clock gate
+    s.rect(Layer::Pselect, 0, 1, SRAM_W, 15);
 
     s.port("bl", Layer::Metal2, Side::South, 2, 0, 5, 4, PortDirection::Inout);
     s.port("blb", Layer::Metal2, Side::South, 21, 0, 24, 4, PortDirection::Inout);
-    s.port(
-        "prech",
-        Layer::Poly,
-        Side::West,
-        0,
-        10 + aw,
-        2,
-        12 + aw,
-        PortDirection::Input,
-    );
+    s.port("prech", Layer::Poly, Side::West, 0, 6, 2, 8, PortDirection::Input);
     s.finish()
 }
 
@@ -171,24 +167,22 @@ pub fn sense_amp(process: &Process) -> Cell {
     s.outline(SRAM_W, h);
     s.rect(Layer::Metal2, 2, 0, 5, h); // data line in
     s.rect(Layer::Metal2, 21, 0, 24, h);
-    // Cross-coupled NMOS pair.
-    s.rect(Layer::Active, 6, 4, 11, 12);
-    s.rect(Layer::Active, 15, 4, 20, 12);
+    // Cross-coupled NMOS pair on one diffusion strip.
+    s.rect(Layer::Active, 4, 4, 22, 12);
     s.rect(Layer::Poly, 8, 2, 10, 14);
     s.rect(Layer::Poly, 16, 2, 18, 14);
-    s.rect(Layer::Nselect, 4, 2, 22, 14);
+    s.rect(Layer::Nselect, 2, 2, 24, 14);
     // PMOS load pair in a well strip.
-    s.rect(Layer::Nwell, 0, 17, SRAM_W, h);
-    s.rect(Layer::Active, 6, 21, 11, 29);
-    s.rect(Layer::Active, 15, 21, 20, 29);
-    s.rect(Layer::Poly, 8, 19, 10, 31);
-    s.rect(Layer::Poly, 16, 19, 18, 31);
-    s.rect(Layer::Pselect, 4, 19, 22, 31);
-    // Output and sense-enable wiring.
-    s.rect(Layer::Metal1, 6, 5, 11, 8);
-    s.rect(Layer::Metal1, 15, 5, 20, 8);
-    s.rect(Layer::Contact, 7, 5, 9, 7);
-    s.rect(Layer::Contact, 17, 5, 19, 7);
+    s.rect(Layer::Nwell, -3, 17, 29, h);
+    s.rect(Layer::Active, 5, 23, 21, 28);
+    s.rect(Layer::Poly, 8, 21, 10, 30);
+    s.rect(Layer::Poly, 16, 21, 18, 30);
+    s.rect(Layer::Pselect, 3, 21, 23, 30);
+    // Output landings on the sensing nodes.
+    s.rect(Layer::Contact, 5, 5, 7, 7);
+    s.rect(Layer::Contact, 19, 5, 21, 7);
+    s.rect(Layer::Metal1, 4, 4, 8, 8);
+    s.rect(Layer::Metal1, 18, 4, 22, 8);
 
     s.port("bl", Layer::Metal2, Side::North, 2, h - 4, 5, h, PortDirection::Input);
     s.port("blb", Layer::Metal2, Side::North, 21, h - 4, 24, h, PortDirection::Input);
@@ -205,11 +199,10 @@ pub fn write_driver(process: &Process) -> Cell {
     s.outline(SRAM_W, h);
     s.rect(Layer::Metal2, 2, 0, 5, h);
     s.rect(Layer::Metal2, 21, 0, 24, h);
-    s.rect(Layer::Active, 6, 4, 11, 12);
-    s.rect(Layer::Active, 15, 4, 20, 12);
+    s.rect(Layer::Active, 5, 4, 21, 12);
     s.rect(Layer::Poly, 8, 2, 10, 14);
     s.rect(Layer::Poly, 16, 2, 18, 14);
-    s.rect(Layer::Nselect, 4, 2, 22, 14);
+    s.rect(Layer::Nselect, 3, 2, 23, 14);
     s.rect(Layer::Metal1, 6, 16, 20, 19); // data input strap
 
     s.port("bl", Layer::Metal2, Side::North, 2, h - 4, 5, h, PortDirection::Output);
@@ -230,10 +223,10 @@ pub fn col_mux(process: &Process) -> Cell {
     s.rect(Layer::Metal2, 2, 0, 5, h);
     s.rect(Layer::Metal2, 21, 0, 24, h);
     // Pass transistors.
-    s.rect(Layer::Active, 6, 5, 11, 11);
-    s.rect(Layer::Active, 15, 5, 20, 11);
+    s.rect(Layer::Active, 6, 4, 11, 12);
+    s.rect(Layer::Active, 15, 4, 20, 12);
     s.rect(Layer::Poly, 0, 7, SRAM_W, 9); // shared select line through
-    s.rect(Layer::Nselect, 4, 3, 22, 13);
+    s.rect(Layer::Nselect, 4, 2, 22, 14);
 
     s.port("bl", Layer::Metal2, Side::North, 2, h - 4, 5, h, PortDirection::Inout);
     s.port("blb", Layer::Metal2, Side::North, 21, h - 4, 24, h, PortDirection::Inout);
@@ -258,9 +251,9 @@ pub fn row_decoder(process: &Process, address_bits: u32) -> Cell {
     }
     // NAND stack.
     let gx = 8 * address_bits as Coord;
-    s.rect(Layer::Active, gx, 5, gx + 5, 14);
-    s.rect(Layer::Poly, gx + 1, 3, gx + 3, 16);
-    s.rect(Layer::Nselect, gx - 1, 3, gx + 7, 16);
+    s.rect(Layer::Active, gx, 5, gx + 8, 14);
+    s.rect(Layer::Poly, gx + 3, 3, gx + 5, 16);
+    s.rect(Layer::Nselect, gx - 2, 3, w - 2, 16);
     // Word line out on poly at the array pitch.
     s.rect(Layer::Poly, gx + 1, 18, w, 20);
     s.rect(Layer::Metal1, 0, 0, w, 3); // GND rail
@@ -296,14 +289,13 @@ pub fn wordline_driver(process: &Process, size_factor: Coord) -> Cell {
     s.rect(Layer::Metal1, 0, 0, w, 3);
     s.rect(Layer::Metal1, 0, 22, w, 25);
     s.rect(Layer::Nwell, 0, 21, w, SRAM_H);
-    // Output inverter, widened by the size factor.
-    let aw = 4 + 2 * size_factor;
-    s.rect(Layer::Active, 4, 5, 4 + aw.min(w - 10), 14);
-    s.rect(Layer::Active, 4, 27, 4 + aw.min(w - 10), 36);
+    // Output inverter.
+    s.rect(Layer::Active, 3, 5, 11, 14);
     s.rect(Layer::Poly, 6, 3, 8, 16);
-    s.rect(Layer::Poly, 6, 26, 8, 37);
-    s.rect(Layer::Nselect, 2, 3, w - 2, 16);
-    s.rect(Layer::Pselect, 2, 25, w - 2, 38);
+    s.rect(Layer::Nselect, 1, 3, 13, 16);
+    s.rect(Layer::Active, 6, 27, 14, 34);
+    s.rect(Layer::Poly, 9, 25, 11, 36);
+    s.rect(Layer::Pselect, 4, 25, 16, 36);
 
     s.port("wl_in", Layer::Poly, Side::West, 0, 18, 2, 20, PortDirection::Input);
     s.port("wl", Layer::Poly, Side::East, w - 2, 18, w, 20, PortDirection::Output);
@@ -325,12 +317,12 @@ pub fn cam_bit(process: &Process) -> Cell {
     s.rect(Layer::Metal1, 0, 22, w, 25); // VDD
     s.rect(Layer::Metal1, 0, 28, w, 31); // match line (through, m1)
     s.rect(Layer::Nwell, 0, 30, w, SRAM_H);
-    s.rect(Layer::Active, 7, 5, 12, 14);
-    s.rect(Layer::Active, 16, 5, 21, 14);
-    s.rect(Layer::Active, 24, 5, 27, 14); // compare pulldown
-    s.rect(Layer::Poly, 9, 3, 11, 16);
-    s.rect(Layer::Poly, 17, 3, 19, 16);
-    s.rect(Layer::Nselect, 5, 3, 29, 16);
+    s.rect(Layer::Active, 5, 5, 21, 14); // storage pair strip
+    s.rect(Layer::Active, 24, 5, 32, 14); // compare pulldown
+    s.rect(Layer::Poly, 8, 3, 10, 16);
+    s.rect(Layer::Poly, 16, 3, 18, 16);
+    s.rect(Layer::Poly, 27, 3, 29, 16);
+    s.rect(Layer::Nselect, 3, 3, 34, 16);
 
     s.port("search", Layer::Metal2, Side::South, 2, 0, 5, 4, PortDirection::Input);
     s.port("searchb", Layer::Metal2, Side::South, 29, 0, 32, 4, PortDirection::Input);
@@ -343,6 +335,12 @@ pub fn cam_bit(process: &Process) -> Cell {
 /// A PLA crosspoint cell (8λ × 8λ): `programmed` cells carry the
 /// pulldown transistor of the pseudo-NMOS NOR plane, unprogrammed cells
 /// only pass the lines through.
+///
+/// The programmed diffusion runs to both cell edges so that a row of
+/// programmed crosspoints chains source/drain regions by abutment; the
+/// metal1 term line collects the plane output. (The term line is not
+/// contacted inside the 8λ crosspoint — the chain-to-term connection is
+/// abstracted, and the extraction/schematic sides model it identically.)
 pub fn pla_crosspoint(process: &Process, programmed: bool) -> Cell {
     let name = if programmed { "pla_x1" } else { "pla_x0" };
     let mut s = Sketch::new(name, process);
@@ -350,8 +348,8 @@ pub fn pla_crosspoint(process: &Process, programmed: bool) -> Cell {
     s.rect(Layer::Poly, 3, 0, 5, 8); // input line (vertical)
     s.rect(Layer::Metal1, 0, 3, 8, 6); // term line (horizontal)
     if programmed {
-        s.rect(Layer::Active, 2, 0, 6, 3);
-        s.rect(Layer::Contact, 3, 1, 5, 3);
+        s.rect(Layer::Active, 0, 2, 8, 5);
+        s.rect(Layer::Nselect, -2, 0, 10, 8);
     }
     s.port("in_s", Layer::Poly, Side::South, 3, 0, 5, 2, PortDirection::Input);
     s.port("in_n", Layer::Poly, Side::North, 3, 6, 5, 8, PortDirection::Input);
@@ -363,11 +361,14 @@ pub fn pla_crosspoint(process: &Process, programmed: bool) -> Cell {
 /// The pseudo-NMOS pull-up cell terminating a PLA term line (8λ pitch).
 pub fn pla_pullup(process: &Process) -> Cell {
     let mut s = Sketch::new("pla_pullup", process);
-    s.outline(12, 10);
-    s.rect(Layer::Metal1, 0, 3, 12, 6);
-    s.rect(Layer::Nwell, 0, 0, 12, 10);
-    s.rect(Layer::Active, 4, 0, 8, 3);
-    s.rect(Layer::Pselect, 2, 0, 10, 3);
+    s.outline(20, 8);
+    s.rect(Layer::Metal1, 0, 3, 20, 6); // term line continuation
+    s.rect(Layer::Nwell, 0, -4, 24, 12);
+    s.rect(Layer::Active, 9, 2, 18, 6);
+    s.rect(Layer::Poly, 12, 0, 14, 8); // always-on gate column
+    s.rect(Layer::Contact, 15, 3, 17, 5);
+    s.rect(Layer::Metal1, 14, 2, 18, 6); // drain pad onto the term line
+    s.rect(Layer::Pselect, 7, 0, 20, 8);
     s.port("t_w", Layer::Metal1, Side::West, 0, 3, 2, 6, PortDirection::Inout);
     s.finish()
 }
@@ -375,24 +376,23 @@ pub fn pla_pullup(process: &Process) -> Cell {
 /// A D flip-flop bit (state register / counter storage).
 pub fn dff(process: &Process) -> Cell {
     let mut s = Sketch::new("dff", process);
-    let w = 44;
+    let w = 48;
     s.outline(w, SRAM_H);
     s.rect(Layer::Metal1, 0, 0, w, 3);
     s.rect(Layer::Metal1, 0, 22, w, 25);
     s.rect(Layer::Nwell, 0, 21, w, SRAM_H);
-    // Master and slave transmission/latch stages.
-    for (x0, _tag) in [(4, "m"), (24, "s")] {
-        s.rect(Layer::Active, x0, 5, x0 + 5, 14);
-        s.rect(Layer::Active, x0 + 9, 5, x0 + 14, 14);
-        s.rect(Layer::Poly, x0 + 2, 3, x0 + 4, 16);
+    // Master and slave transmission/latch stages, each a shared-diffusion
+    // transistor pair over and under the supply rails.
+    for x0 in [6, 26] {
+        s.rect(Layer::Active, x0, 5, x0 + 16, 14);
+        s.rect(Layer::Poly, x0 + 3, 3, x0 + 5, 16);
         s.rect(Layer::Poly, x0 + 11, 3, x0 + 13, 16);
-        s.rect(Layer::Active, x0, 27, x0 + 5, 36);
-        s.rect(Layer::Active, x0 + 9, 27, x0 + 14, 36);
-        s.rect(Layer::Poly, x0 + 2, 26, x0 + 4, 37);
-        s.rect(Layer::Poly, x0 + 11, 26, x0 + 13, 37);
+        s.rect(Layer::Active, x0, 27, x0 + 16, 34);
+        s.rect(Layer::Poly, x0 + 3, 25, x0 + 5, 36);
+        s.rect(Layer::Poly, x0 + 11, 25, x0 + 13, 36);
     }
-    s.rect(Layer::Nselect, 2, 3, w - 2, 16);
-    s.rect(Layer::Pselect, 2, 25, w - 2, 38);
+    s.rect(Layer::Nselect, 4, 3, w - 4, 16);
+    s.rect(Layer::Pselect, 4, 25, w - 4, 36);
     // Clock line through on poly.
     s.rect(Layer::Poly, 0, 18, w, 20);
 
@@ -408,21 +408,22 @@ pub fn dff(process: &Process) -> Cell {
 /// ADDGEN up/down counter.
 pub fn counter_bit(process: &Process) -> Cell {
     let mut s = Sketch::new("counter_bit", process);
-    let w = 58;
+    let w = 64;
     s.outline(w, SRAM_H);
     s.rect(Layer::Metal1, 0, 0, w, 3);
     s.rect(Layer::Metal1, 0, 22, w, 25);
     s.rect(Layer::Nwell, 0, 21, w, SRAM_H);
-    for x0 in [4, 22, 40] {
-        s.rect(Layer::Active, x0, 5, x0 + 5, 14);
-        s.rect(Layer::Active, x0 + 9, 5, x0 + 14, 14);
-        s.rect(Layer::Poly, x0 + 2, 3, x0 + 4, 16);
+    for x0 in [4, 24, 44] {
+        s.rect(Layer::Active, x0, 5, x0 + 16, 14);
+        s.rect(Layer::Poly, x0 + 3, 3, x0 + 5, 16);
         s.rect(Layer::Poly, x0 + 11, 3, x0 + 13, 16);
-        s.rect(Layer::Active, x0, 27, x0 + 5, 36);
-        s.rect(Layer::Poly, x0 + 2, 26, x0 + 4, 37);
     }
-    s.rect(Layer::Nselect, 2, 3, w - 2, 16);
-    s.rect(Layer::Pselect, 2, 25, w - 2, 38);
+    for x0 in [6, 26, 46] {
+        s.rect(Layer::Active, x0, 27, x0 + 8, 34);
+        s.rect(Layer::Poly, x0 + 3, 25, x0 + 5, 36);
+    }
+    s.rect(Layer::Nselect, 2, 3, 62, 16);
+    s.rect(Layer::Pselect, 4, 25, 56, 36);
     s.rect(Layer::Poly, 0, 18, w, 20); // clock through
     s.rect(Layer::Metal1, 0, 28, w, 31); // carry chain through
 
@@ -437,21 +438,22 @@ pub fn counter_bit(process: &Process) -> Cell {
 /// A two-input XOR comparator bit (the DATAGEN read-compare element).
 pub fn xor2(process: &Process) -> Cell {
     let mut s = Sketch::new("xor2", process);
-    let w = 34;
+    let w = 44;
     s.outline(w, SRAM_H);
     s.rect(Layer::Metal1, 0, 0, w, 3);
     s.rect(Layer::Metal1, 0, 22, w, 25);
     s.rect(Layer::Nwell, 0, 21, w, SRAM_H);
-    for x0 in [4, 19] {
-        s.rect(Layer::Active, x0, 5, x0 + 5, 14);
-        s.rect(Layer::Active, x0 + 9, 5, x0 + 12, 14);
-        s.rect(Layer::Poly, x0 + 2, 3, x0 + 4, 16);
-        s.rect(Layer::Poly, x0 + 6, 3, x0 + 8, 16);
-        s.rect(Layer::Active, x0, 27, x0 + 5, 36);
-        s.rect(Layer::Poly, x0 + 2, 26, x0 + 4, 37);
+    for x0 in [4, 24] {
+        s.rect(Layer::Active, x0, 5, x0 + 16, 14);
+        s.rect(Layer::Poly, x0 + 3, 3, x0 + 5, 16);
+        s.rect(Layer::Poly, x0 + 11, 3, x0 + 13, 16);
     }
-    s.rect(Layer::Nselect, 2, 3, w - 2, 16);
-    s.rect(Layer::Pselect, 2, 25, w - 2, 38);
+    for x0 in [6, 26] {
+        s.rect(Layer::Active, x0, 27, x0 + 8, 34);
+        s.rect(Layer::Poly, x0 + 3, 25, x0 + 5, 36);
+    }
+    s.rect(Layer::Nselect, 2, 3, 42, 16);
+    s.rect(Layer::Pselect, 4, 25, 36, 36);
     s.port("a", Layer::Metal1, Side::West, 0, 6, 4, 9, PortDirection::Input);
     s.port("b", Layer::Metal1, Side::West, 0, 12, 4, 15, PortDirection::Input);
     s.port("y", Layer::Metal1, Side::East, w - 4, 8, w, 11, PortDirection::Output);

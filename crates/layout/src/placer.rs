@@ -166,8 +166,13 @@ pub fn place_with_options(macros: Vec<Macro>, options: PlacerOptions) -> Placeme
     sorted.sort_by_key(|m| std::cmp::Reverse(m.cell.area()));
 
     let mut placed: Vec<PlacedMacro> = Vec::new();
+    // World-coordinate geometry extents of the placed macros, kept in
+    // step with `placed`.
+    let mut extents: Vec<Rect> = Vec::new();
     for m in sorted {
-        let t = best_position(&placed, &m, &options);
+        let ext = geometry_extent(&m.cell);
+        let t = best_position(&placed, &extents, &m, ext, &options);
+        extents.push(t.apply_rect(ext));
         placed.push(PlacedMacro {
             name: m.name,
             cell: m.cell,
@@ -177,42 +182,60 @@ pub fn place_with_options(macros: Vec<Macro>, options: PlacerOptions) -> Placeme
     Placement { placed }
 }
 
-fn best_position(placed: &[PlacedMacro], m: &Macro, options: &PlacerOptions) -> Transform {
+/// A cell's true geometry extent: the abutment box unioned with the
+/// bounding box of every flattened shape. Well and select layers
+/// deliberately overhang the abutment box so that abutting tiles merge
+/// into one region; the placer must keep its clearance from the
+/// overhang too, or cross-macro spacing rules (the n-well's, the
+/// widest) can be violated by geometry the abutment box doesn't cover.
+/// For overhang-free macros this is exactly `cell.bbox()`.
+fn geometry_extent(cell: &Cell) -> Rect {
+    let outline = cell.bbox();
+    Rect::bounding(cell.flatten().into_iter().map(|(_, r)| r))
+        .map_or(outline, |shapes| outline.union(shapes))
+}
+
+fn best_position(
+    placed: &[PlacedMacro],
+    extents: &[Rect],
+    m: &Macro,
+    ext: Rect,
+    options: &PlacerOptions,
+) -> Transform {
     let margin = options.margin;
     let cb = m.cell.bbox();
     if placed.is_empty() {
         // Anchor the first (largest) macro at the origin.
         return Transform::translate(Point::new(-cb.left(), -cb.bottom()));
     }
-    let global = Rect::bounding(placed.iter().map(|p| p.bbox())).expect("nonempty");
+    let global = Rect::bounding(extents.iter().copied()).expect("nonempty");
 
-    // Candidate lower-left corners for the new cell's bbox, offset by
-    // the clearance margin.
+    // Candidate lower-left corners for the new cell's geometry extent,
+    // offset by the clearance margin.
     let g = margin;
     let mut candidates: Vec<Point> = vec![
         Point::new(global.right() + g, global.bottom()),
         Point::new(global.left(), global.top() + g),
         Point::new(global.right() + g, global.top() + g),
     ];
-    for p in placed {
-        let b = p.bbox();
+    for b in extents {
         candidates.push(Point::new(b.right() + g, b.bottom()));
         candidates.push(Point::new(b.left(), b.top() + g));
-        candidates.push(Point::new(b.right() + g, b.top() - cb.height()));
-        candidates.push(Point::new(b.left() - cb.width() - g, b.bottom()));
+        candidates.push(Point::new(b.right() + g, b.top() - ext.height()));
+        candidates.push(Point::new(b.left() - ext.width() - g, b.bottom()));
     }
 
     let mut best: Option<(f64, Transform)> = None;
     for ll in candidates {
-        let t = Transform::translate(Point::new(ll.x - cb.left(), ll.y - cb.bottom()));
-        let nb = t.apply_rect(cb);
-        // Reject positions violating the clearance (an expanded box must
-        // not overlap any placed box).
-        let guard = nb.expand(margin.max(0) - 1).max_rect(nb);
-        if placed.iter().any(|p| p.bbox().overlaps(guard)) {
+        let t = Transform::translate(Point::new(ll.x - ext.left(), ll.y - ext.bottom()));
+        let ne = t.apply_rect(ext);
+        // Reject positions violating the clearance (an expanded extent
+        // must not overlap any placed extent).
+        let guard = ne.expand(margin.max(0) - 1).max_rect(ne);
+        if extents.iter().any(|b| b.overlaps(guard)) {
             continue;
         }
-        let score = score_position(placed, m, t, global, nb, options);
+        let score = score_position(placed, m, t, global, ne, options);
         if best.as_ref().is_none_or(|(s, _)| score < *s) {
             best = Some((score, t));
         }
@@ -220,8 +243,8 @@ fn best_position(placed: &[PlacedMacro], m: &Macro, options: &PlacerOptions) -> 
     best.map(|(_, t)| t).unwrap_or_else(|| {
         // Fallback: to the right of everything (always valid).
         Transform::translate(Point::new(
-            global.right() + g - cb.left(),
-            global.bottom() - cb.bottom(),
+            global.right() + g - ext.left(),
+            global.bottom() - ext.bottom(),
         ))
     })
 }

@@ -9,9 +9,71 @@
 //! The layout crate runs this over every generated leaf cell in its test
 //! suite, which is what makes the "design-rule independent generation"
 //! claim checkable.
+//!
+//! Since the `bisram-verify` crate landed, the core here is the shared
+//! scanline sweep from [`bisram_geom::sweep`] rather than the original
+//! all-pairs loop; the old loop survives as [`check_pairwise`], kept only
+//! as a reference baseline for equivalence tests and the
+//! `verify_throughput` bench.
 
 use crate::{DesignRules, Layer};
-use bisram_geom::Rect;
+use bisram_geom::{sweep, Rect};
+
+/// The classes of geometric design rules a checker can evaluate.
+///
+/// [`check`] in this crate evaluates only [`Width`](RuleClass::Width) and
+/// [`Spacing`](RuleClass::Spacing); the full set is evaluated by the DRC
+/// engine in `bisram-verify`. Reports carry the evaluated classes so that
+/// "clean" can never silently mean "clean under a subset nobody looked at".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleClass {
+    /// Minimum width of a shape on a layer.
+    Width,
+    /// Minimum same-layer spacing between unconnected shapes.
+    Spacing,
+    /// Minimum conductor enclosure of a contact/via cut.
+    CutEnclosure,
+    /// Minimum poly extension past the gate (poly endcap).
+    GateExtension,
+    /// Minimum diffusion extension past the gate (source/drain landing).
+    SdExtension,
+    /// Minimum spacing between poly and unrelated diffusion.
+    PolyActiveSpace,
+    /// Minimum well enclosure of diffusion inside it.
+    WellEnclosure,
+    /// Minimum select enclosure of the diffusion it implants.
+    SelectEnclosure,
+}
+
+impl RuleClass {
+    /// All rule classes, in reporting order.
+    pub const ALL: [RuleClass; 8] = [
+        RuleClass::Width,
+        RuleClass::Spacing,
+        RuleClass::CutEnclosure,
+        RuleClass::GateExtension,
+        RuleClass::SdExtension,
+        RuleClass::PolyActiveSpace,
+        RuleClass::WellEnclosure,
+        RuleClass::SelectEnclosure,
+    ];
+}
+
+impl std::fmt::Display for RuleClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            RuleClass::Width => "width",
+            RuleClass::Spacing => "spacing",
+            RuleClass::CutEnclosure => "cut-enclosure",
+            RuleClass::GateExtension => "gate-extension",
+            RuleClass::SdExtension => "sd-extension",
+            RuleClass::PolyActiveSpace => "poly-active-space",
+            RuleClass::WellEnclosure => "well-enclosure",
+            RuleClass::SelectEnclosure => "select-enclosure",
+        };
+        f.write_str(name)
+    }
+}
 
 /// A single design-rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +131,24 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// The result of a [`check_report`] run: the violations found plus the
+/// rule classes that were actually evaluated, so callers can tell a clean
+/// full check from a clean partial one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrcReport {
+    /// All violations found (empty ⇒ clean *for the evaluated classes*).
+    pub violations: Vec<Violation>,
+    /// Which rule classes this run evaluated.
+    pub evaluated: Vec<RuleClass>,
+}
+
+impl DrcReport {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
 /// Checks shapes against width and same-layer spacing rules.
 ///
 /// `shapes` is any iterator of `(Layer, Rect)` pairs — the layout crate's
@@ -76,7 +156,16 @@ impl std::fmt::Display for Violation {
 /// clean).
 ///
 /// Connectivity for the spacing exemption is computed with a union–find
-/// over touching shapes per layer.
+/// over touching shapes per layer; candidate pairs come from the scanline
+/// sweep in [`bisram_geom::sweep`], so the cost is near-linear on tiled
+/// layouts instead of quadratic.
+///
+/// **Deprecation note:** this checker only covers the width and spacing
+/// rule classes (see [`DrcReport::evaluated`] via [`check_report`]).
+/// New code should run the full-coverage engine in `bisram-verify`, which
+/// also checks enclosures, extensions, and poly/active spacing; this
+/// entry point is kept because its two rules and its exact output
+/// ordering are baked into the leaf-generator test contracts.
 ///
 /// ```
 /// use bisram_tech::{drc, DesignRules, Layer};
@@ -92,6 +181,108 @@ impl std::fmt::Display for Violation {
 /// assert_eq!(violations.len(), 1);
 /// ```
 pub fn check<I>(rules: &DesignRules, shapes: I) -> Vec<Violation>
+where
+    I: IntoIterator<Item = (Layer, Rect)>,
+{
+    check_report(rules, shapes).violations
+}
+
+/// Like [`check`], but returns the violations together with the list of
+/// rule classes that were evaluated ([`RuleClass::Width`] and
+/// [`RuleClass::Spacing`] for this checker).
+pub fn check_report<I>(rules: &DesignRules, shapes: I) -> DrcReport
+where
+    I: IntoIterator<Item = (Layer, Rect)>,
+{
+    let mut by_layer: Vec<(Layer, Vec<Rect>)> = Vec::new();
+    for (layer, rect) in shapes {
+        if rect.is_degenerate() {
+            continue;
+        }
+        match by_layer.iter_mut().find(|(l, _)| *l == layer) {
+            Some((_, v)) => v.push(rect),
+            None => by_layer.push((layer, vec![rect])),
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (layer, rects) in &by_layer {
+        let min_w = rules.min_width(*layer);
+        let min_s = rules.min_space(*layer);
+        let n = rects.len();
+
+        // One sweep wide enough for every question asked below: coverage
+        // (spacing 0), connectivity (spacing 0), and spacing violations
+        // (spacing < min_s).
+        let window = (min_s - 1).max(0);
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        sweep::pair_sweep(rects, window, |i, j| pairs.push((i, j)));
+        // The sweep emits in left-edge order; the public contract (and the
+        // legacy checker) order by original shape index.
+        pairs.sort_unstable();
+
+        let mut covered = vec![false; n];
+        let mut uf = sweep::UnionFind::new(n);
+        for &(i, j) in &pairs {
+            let (a, b) = (rects[i], rects[j]);
+            // A shape narrower than min width is legal if it is a stub
+            // fully covered by strictly larger connected metal; the
+            // `a != b` guard keeps exact duplicates from exempting each
+            // other, matching the original pairwise checker.
+            if a != b {
+                if b.contains_rect(a) && b.area() > a.area() {
+                    covered[i] = true;
+                }
+                if a.contains_rect(b) && a.area() > b.area() {
+                    covered[j] = true;
+                }
+            }
+            if a.touches(b) {
+                uf.union(i, j);
+            }
+        }
+
+        for (i, &r) in rects.iter().enumerate() {
+            if r.min_dimension() < min_w && !covered[i] {
+                violations.push(Violation::Width {
+                    layer: *layer,
+                    rect: r,
+                    actual: r.min_dimension(),
+                    required: min_w,
+                });
+            }
+        }
+
+        for &(i, j) in &pairs {
+            if uf.find(i) == uf.find(j) {
+                continue;
+            }
+            let s = rects[i].spacing(rects[j]);
+            if s < min_s {
+                violations.push(Violation::Spacing {
+                    layer: *layer,
+                    a: rects[i],
+                    b: rects[j],
+                    actual: s,
+                    required: min_s,
+                });
+            }
+        }
+    }
+    DrcReport {
+        violations,
+        evaluated: vec![RuleClass::Width, RuleClass::Spacing],
+    }
+}
+
+/// The original O(n²) all-pairs checker, byte-for-byte equivalent to
+/// [`check`] in its output.
+///
+/// Kept as the reference baseline: the unit tests assert scanline/pairwise
+/// equivalence on randomized layouts, and the `verify_throughput` bench
+/// measures the scanline speedup against it. Do not use it on macrocell
+/// flattenings — that is exactly the quadratic blow-up the sweep removes.
+pub fn check_pairwise<I>(rules: &DesignRules, shapes: I) -> Vec<Violation>
 where
     I: IntoIterator<Item = (Layer, Rect)>,
 {
@@ -112,10 +303,6 @@ where
         let min_s = rules.min_space(*layer);
 
         for &r in rects {
-            // A shape narrower than min width is legal if it is a stub
-            // fully covered by wider connected metal; the generators do
-            // not produce such stubs, so we keep the simple strict check
-            // but skip shapes entirely contained in another shape.
             let covered = rects
                 .iter()
                 .any(|&o| o != r && o.contains_rect(r) && o.area() > r.area());
@@ -129,7 +316,6 @@ where
             }
         }
 
-        // Union-find over touching shapes.
         let n = rects.len();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut [usize], mut i: usize) -> usize {
@@ -171,6 +357,9 @@ where
 /// Convenience wrapper asserting a clean check, with a readable panic
 /// message listing up to the first five violations.
 ///
+/// Evaluates the same two rule classes as [`check`]; full-coverage
+/// assertions live in `bisram-verify`.
+///
 /// # Panics
 ///
 /// Panics when any violation is found; intended for test suites.
@@ -178,10 +367,13 @@ pub fn assert_clean<I>(rules: &DesignRules, shapes: I, context: &str)
 where
     I: IntoIterator<Item = (Layer, Rect)>,
 {
-    let violations = check(rules, shapes);
-    if !violations.is_empty() {
-        let mut msg = format!("{context}: {} DRC violation(s):\n", violations.len());
-        for v in violations.iter().take(5) {
+    let report = check_report(rules, shapes);
+    if !report.is_clean() {
+        let mut msg = format!(
+            "{context}: {} DRC violation(s):\n",
+            report.violations.len()
+        );
+        for v in report.violations.iter().take(5) {
             msg.push_str(&format!("  - {v}\n"));
         }
         panic!("{msg}");
@@ -294,6 +486,39 @@ mod tests {
         let v = check(&rules(), vec![(Layer::Poly, Rect::new(0, 0, 100, 400))]);
         let s = v[0].to_string();
         assert!(s.contains("poly") && s.contains("100") && s.contains("200"), "{s}");
+    }
+
+    #[test]
+    fn report_names_evaluated_rule_classes() {
+        let report = check_report(&rules(), Vec::new());
+        assert!(report.is_clean());
+        assert_eq!(report.evaluated, vec![RuleClass::Width, RuleClass::Spacing]);
+        assert_eq!(RuleClass::Width.to_string(), "width");
+        assert_eq!(RuleClass::ALL.len(), 8);
+    }
+
+    #[test]
+    fn scanline_matches_pairwise_on_random_layouts() {
+        let mut rng = StdRng::seed_from_u64(0xD2C_0003);
+        for case in 0..64 {
+            let shapes: Vec<(Layer, Rect)> = (0..60)
+                .map(|_| {
+                    let layer = match rng.gen_range(0u32..3) {
+                        0 => Layer::Metal1,
+                        1 => Layer::Metal2,
+                        _ => Layer::Poly,
+                    };
+                    let x = rng.gen_range(-2000i64..2000);
+                    let y = rng.gen_range(-2000i64..2000);
+                    let w = rng.gen_range(0i64..900);
+                    let h = rng.gen_range(0i64..900);
+                    (layer, Rect::new(x, y, x + w, y + h))
+                })
+                .collect();
+            let fast = check(&rules(), shapes.clone());
+            let slow = check_pairwise(&rules(), shapes);
+            assert_eq!(fast, slow, "case {case}");
+        }
     }
 
     // Deterministic seeded sweeps replacing the proptest strategies;

@@ -1,0 +1,92 @@
+//! The common net/device graph both sides of LVS reduce to.
+//!
+//! Extraction produces a [`NetGraph`] from flattened geometry; the
+//! schematic side produces one from composed leaf-cell netlists. LVS then
+//! only ever compares two `NetGraph`s, so the two producers cannot drift
+//! apart in representation.
+
+use bisram_circuit::MosType;
+use bisram_geom::{Coord, Rect};
+use bisram_tech::Layer;
+
+/// A single electrical net.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Debug label: `n{index}` on the extracted side, a hierarchical name
+    /// on the reference side.
+    pub name: String,
+    /// A representative shape for reporting, when geometry is known.
+    pub sample: Option<(Layer, Rect)>,
+}
+
+/// A single MOS device with its terminal nets.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// N or P channel.
+    pub polarity: MosType,
+    /// Drawn channel width in DBU (nanometres).
+    pub w: Coord,
+    /// Drawn channel length in DBU (nanometres).
+    pub l: Coord,
+    /// Gate net index.
+    pub gate: usize,
+    /// Source/drain net indices; MOS source and drain are interchangeable
+    /// here, so the pair is unordered.
+    pub sd: [usize; 2],
+    /// Gate location (the poly/diffusion overlap) for reporting.
+    pub location: Rect,
+}
+
+/// Nets plus devices; the whole input to LVS.
+#[derive(Debug, Clone, Default)]
+pub struct NetGraph {
+    /// All nets; indices are stable identifiers.
+    pub nets: Vec<Net>,
+    /// All devices.
+    pub devices: Vec<Device>,
+}
+
+impl NetGraph {
+    /// Terminal count per net (gate and source/drain attachments).
+    pub fn terminal_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nets.len()];
+        for d in &self.devices {
+            counts[d.gate] += 1;
+            counts[d.sd[0]] += 1;
+            counts[d.sd[1]] += 1;
+        }
+        counts
+    }
+
+    /// Number of nets with no device terminal (pure interconnect such as
+    /// power rails and boundary wires).
+    pub fn floating_count(&self) -> usize {
+        self.terminal_counts().iter().filter(|&&c| c == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_and_floating_counts() {
+        let mut g = NetGraph::default();
+        for i in 0..4 {
+            g.nets.push(Net {
+                name: format!("n{i}"),
+                sample: None,
+            });
+        }
+        g.devices.push(Device {
+            polarity: MosType::Nmos,
+            w: 900,
+            l: 200,
+            gate: 0,
+            sd: [1, 2],
+            location: Rect::new(0, 0, 2, 9),
+        });
+        assert_eq!(g.terminal_counts(), vec![1, 1, 1, 0]);
+        assert_eq!(g.floating_count(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Physical verification for generated SRAM layouts.
+//!
+//! Three engines over flattened `(Layer, Rect)` geometry:
+//!
+//! - [`drc`] — scanline design-rule checking (width, spacing, enclosure,
+//!   extension classes) against a process's
+//!   [`bisram_tech::DesignRules`];
+//! - [`mod@extract`] — connectivity extraction and MOS recognition,
+//!   producing a [`graph::NetGraph`];
+//! - [`lvs`] — layout-versus-schematic comparison of an extracted graph
+//!   against a reference composed from per-leaf schematics
+//!   ([`schematic`]).
+//!
+//! [`verify_cell`] bundles all three for one hierarchical cell and
+//! returns a [`CellVerifyReport`].
+
+pub mod drc;
+pub mod extract;
+mod gates;
+pub mod graph;
+pub mod lvs;
+pub mod report;
+pub mod schematic;
+
+pub use drc::DrcViolation;
+pub use extract::{extract, Extracted};
+pub use graph::{Device, Net, NetGraph};
+pub use lvs::{compare, LvsMismatch, LvsReport, MismatchKind};
+pub use report::{CellVerifyReport, VerifyReport};
+pub use schematic::{compose, leaf_schematic, CellSchematic, ComposeError, SchematicLib};
+
+use bisram_layout::Cell;
+use bisram_tech::DesignRules;
+
+/// Runs DRC, extraction, and LVS on one cell.
+///
+/// The cell is flattened, design-rule checked against `rules`, extracted
+/// to a netlist, and — when a reference can be composed from `lib` —
+/// compared against that reference. A composition failure (a cell with
+/// geometry but no registered schematic) is reported in
+/// [`CellVerifyReport::error`] rather than aborting, so DRC results are
+/// still available.
+pub fn verify_cell(rules: &DesignRules, cell: &Cell, lib: &SchematicLib) -> CellVerifyReport {
+    let shapes = cell.flatten();
+    let drc = drc::check(rules, &shapes);
+    let extracted = extract(&shapes);
+    let (lvs, error) = match schematic::compose(cell, lib) {
+        Ok(reference) => (Some(lvs::compare(&extracted.graph, &reference)), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    CellVerifyReport {
+        cell: cell.name().to_string(),
+        shape_count: shapes.len(),
+        drc,
+        lvs,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisram_layout::leaf::LeafSpec;
+    use bisram_tech::Process;
+
+    #[test]
+    fn verify_cell_reports_missing_schematic_without_losing_drc() {
+        let process = Process::cda07();
+        let cell = LeafSpec::Sram6t.build(&process);
+        let report = verify_cell(process.rules(), &cell, &SchematicLib::new());
+        assert!(report.lvs.is_none());
+        assert!(report.error.as_deref().unwrap().contains("sram6t"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn verify_cell_clean_leaf_end_to_end() {
+        let process = Process::cda07();
+        let lib = SchematicLib::standard(&process);
+        let cell = LeafSpec::Sram6t.build(&process);
+        let report = verify_cell(process.rules(), &cell, &lib);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.to_string().contains("clean"));
+    }
+}

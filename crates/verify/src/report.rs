@@ -1,0 +1,103 @@
+//! Aggregated verification results.
+
+use crate::drc::DrcViolation;
+use crate::lvs::LvsReport;
+
+/// DRC + LVS outcome for one cell.
+#[derive(Debug, Clone)]
+pub struct CellVerifyReport {
+    /// Cell name.
+    pub cell: String,
+    /// Number of flattened shapes checked.
+    pub shape_count: usize,
+    /// DRC violations, deterministically ordered.
+    pub drc: Vec<DrcViolation>,
+    /// LVS comparison, when a reference netlist could be composed.
+    pub lvs: Option<LvsReport>,
+    /// Why verification could not complete (e.g. no schematic for the
+    /// cell), mutually exclusive with `lvs`.
+    pub error: Option<String>,
+}
+
+impl CellVerifyReport {
+    /// True when the cell passed DRC and LVS without errors.
+    pub fn is_clean(&self) -> bool {
+        self.drc.is_empty()
+            && self.error.is_none()
+            && self.lvs.as_ref().is_none_or(|l| l.is_clean())
+    }
+}
+
+impl std::fmt::Display for CellVerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verdict = if self.is_clean() { "clean" } else { "DIRTY" };
+        writeln!(
+            f,
+            "cell {}: {} ({} shapes, {} drc violations)",
+            self.cell,
+            verdict,
+            self.shape_count,
+            self.drc.len()
+        )?;
+        for v in &self.drc {
+            writeln!(f, "  drc: {v}")?;
+        }
+        if let Some(err) = &self.error {
+            writeln!(f, "  error: {err}")?;
+        }
+        if let Some(lvs) = &self.lvs {
+            for line in lvs.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verification results for a set of cells under one process.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Process name the checks ran under.
+    pub process: String,
+    /// Per-cell results, in verification order.
+    pub cells: Vec<CellVerifyReport>,
+}
+
+impl VerifyReport {
+    /// True when every cell is clean.
+    pub fn is_clean(&self) -> bool {
+        self.cells.iter().all(|c| c.is_clean())
+    }
+
+    /// Total DRC violations across all cells.
+    pub fn drc_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.drc.len()).sum()
+    }
+
+    /// Total LVS mismatches across all cells.
+    pub fn lvs_mismatches(&self) -> usize {
+        self.cells
+            .iter()
+            .filter_map(|c| c.lvs.as_ref())
+            .map(|l| l.mismatches.len())
+            .sum()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "verify [{}]: {} cells, {} drc violations, {} lvs mismatches -> {}",
+            self.process,
+            self.cells.len(),
+            self.drc_violations(),
+            self.lvs_mismatches(),
+            if self.is_clean() { "clean" } else { "DIRTY" }
+        )?;
+        for c in &self.cells {
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}

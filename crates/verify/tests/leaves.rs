@@ -1,0 +1,175 @@
+//! Every leaf cell, in every supported process, must pass DRC and LVS
+//! end-to-end — and so must representative tiled compositions.
+
+use std::sync::Arc;
+
+use bisram_geom::{Point, Transform};
+use bisram_layout::leaf::LeafSpec;
+use bisram_layout::Cell;
+use bisram_tech::Process;
+use bisram_verify::{verify_cell, SchematicLib};
+
+fn processes() -> Vec<Process> {
+    vec![Process::cda05(), Process::mosis06(), Process::cda07()]
+}
+
+fn all_specs() -> Vec<LeafSpec> {
+    vec![
+        LeafSpec::Sram6t,
+        LeafSpec::Precharge { size_factor: 2 },
+        LeafSpec::SenseAmp,
+        LeafSpec::WriteDriver,
+        LeafSpec::ColMux,
+        LeafSpec::RowDecoder { address_bits: 9 },
+        LeafSpec::WordlineDriver { size_factor: 2 },
+        LeafSpec::CamBit,
+        LeafSpec::PlaCrosspoint { programmed: true },
+        LeafSpec::PlaCrosspoint { programmed: false },
+        LeafSpec::PlaPullup,
+        LeafSpec::Dff,
+        LeafSpec::CounterBit,
+        LeafSpec::Xor2,
+    ]
+}
+
+#[test]
+fn every_leaf_is_drc_and_lvs_clean_in_every_process() {
+    for process in processes() {
+        let lib = SchematicLib::standard(&process);
+        for spec in all_specs() {
+            let cell = spec.build(&process);
+            let report = verify_cell(process.rules(), &cell, &lib);
+            assert!(
+                report.is_clean(),
+                "[{}] {:?}:\n{report}",
+                process.name(),
+                spec
+            );
+            if let Some(lvs) = &report.lvs {
+                assert!(
+                    cell.shapes().is_empty() || lvs.extracted_nets > 0,
+                    "{:?} extracted no nets",
+                    spec
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parametric_variants_are_clean() {
+    let process = Process::cda07();
+    for spec in [
+        LeafSpec::Precharge { size_factor: 1 },
+        LeafSpec::Precharge { size_factor: 4 },
+        LeafSpec::RowDecoder { address_bits: 5 },
+        LeafSpec::RowDecoder { address_bits: 12 },
+        LeafSpec::WordlineDriver { size_factor: 1 },
+        LeafSpec::WordlineDriver { size_factor: 5 },
+    ] {
+        let lib = SchematicLib::for_leaves(std::slice::from_ref(&spec), &process);
+        let cell = spec.build(&process);
+        let report = verify_cell(process.rules(), &cell, &lib);
+        assert!(report.is_clean(), "{:?}:\n{report}", spec);
+    }
+}
+
+#[test]
+fn tiled_sram_array_is_clean_in_every_process() {
+    for process in processes() {
+        let lib = SchematicLib::standard(&process);
+        let lam = process.rules().lambda();
+        let sram = Arc::new(LeafSpec::Sram6t.build(&process));
+        let mut array = Cell::new("array4x4");
+        for row in 0..4 {
+            for col in 0..4 {
+                array.add_instance(
+                    format!("b{row}_{col}"),
+                    sram.clone(),
+                    Transform::translate(Point::new(col * 26 * lam, row * 40 * lam)),
+                );
+            }
+        }
+        let report = verify_cell(process.rules(), &array, &lib);
+        assert!(report.is_clean(), "[{}]\n{report}", process.name());
+        let lvs = report.lvs.as_ref().unwrap();
+        assert_eq!(lvs.extracted_devices, 64);
+    }
+}
+
+#[test]
+fn tiled_column_with_periphery_is_clean() {
+    // A bitline column: precharge on top of four sram cells, then
+    // write driver, column mux, and sense amp below — the abutment
+    // pattern the real macrocells use.
+    let process = Process::cda07();
+    let lib = SchematicLib::standard(&process);
+    let lam = process.rules().lambda();
+    let sram = Arc::new(LeafSpec::Sram6t.build(&process));
+    let prech = Arc::new(LeafSpec::Precharge { size_factor: 2 }.build(&process));
+    let wd = Arc::new(LeafSpec::WriteDriver.build(&process));
+    let mux = Arc::new(LeafSpec::ColMux.build(&process));
+    let sa = Arc::new(LeafSpec::SenseAmp.build(&process));
+
+    let mut col = Cell::new("column");
+    let mut y = 0;
+    for (i, (name, master, h)) in [
+        ("sa", sa, 34),
+        ("mux", mux, 18),
+        ("wd", wd, 22),
+        ("b0", sram.clone(), 40),
+        ("b1", sram.clone(), 40),
+        ("b2", sram.clone(), 40),
+        ("b3", sram, 40),
+        ("pc", prech, 20),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let _ = i;
+        col.add_instance(name, master, Transform::translate(Point::new(0, y * lam)));
+        y += h;
+    }
+    let report = verify_cell(process.rules(), &col, &lib);
+    assert!(report.is_clean(), "{report}");
+    // 4 bitcells x 4 devices + 2 each in precharge, write driver, mux,
+    // and 4 in the sense amp.
+    assert_eq!(report.lvs.as_ref().unwrap().extracted_devices, 26);
+}
+
+#[test]
+fn tiled_pla_row_is_clean() {
+    // A programmed AND-plane row: crosspoints chain their diffusion by
+    // abutment and a pullup terminates the term line.
+    let process = Process::cda07();
+    let lib = SchematicLib::standard(&process);
+    let lam = process.rules().lambda();
+    let x1 = Arc::new(LeafSpec::PlaCrosspoint { programmed: true }.build(&process));
+    let x0 = Arc::new(LeafSpec::PlaCrosspoint { programmed: false }.build(&process));
+    let pu = Arc::new(LeafSpec::PlaPullup.build(&process));
+
+    let mut row = Cell::new("pla_row");
+    for (i, programmed) in [true, false, true, true].into_iter().enumerate() {
+        let master = if programmed { x1.clone() } else { x0.clone() };
+        row.add_instance(
+            format!("x{i}"),
+            master,
+            Transform::translate(Point::new(i as i64 * 8 * lam, 0)),
+        );
+    }
+    row.add_instance("pu", pu, Transform::translate(Point::new(4 * 8 * lam, 0)));
+    let report = verify_cell(process.rules(), &row, &lib);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.lvs.as_ref().unwrap().extracted_devices, 4);
+}
+
+#[test]
+fn verify_report_display_is_stable() {
+    let process = Process::cda07();
+    let lib = SchematicLib::standard(&process);
+    let cell = LeafSpec::Sram6t.build(&process);
+    let a = verify_cell(process.rules(), &cell, &lib).to_string();
+    let b = verify_cell(process.rules(), &cell, &lib).to_string();
+    assert_eq!(a, b);
+    assert!(a.contains("clean"));
+}

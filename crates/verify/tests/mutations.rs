@@ -1,0 +1,313 @@
+//! Seeded fault-injection: mutate a single rectangle of a known-good
+//! leaf cell and assert the checkers flag exactly the injected defect.
+//!
+//! Each DRC scenario targets one rule class; after the mutation every
+//! reported violation must belong to that class and at least one must
+//! carry coordinates overlapping the mutated region. The LVS scenarios
+//! delete geometry that leaves DRC clean but changes connectivity, and
+//! must surface a coordinate-bearing mismatch.
+
+use bisram_geom::Rect;
+use bisram_layout::leaf::LeafSpec;
+use bisram_rng::rngs::StdRng;
+use bisram_rng::{Rng, SeedableRng};
+use bisram_tech::drc::RuleClass;
+use bisram_tech::{Layer, Process};
+use bisram_verify::{drc, extract, leaf_schematic, lvs};
+
+fn processes() -> Vec<Process> {
+    vec![Process::cda05(), Process::mosis06(), Process::cda07()]
+}
+
+/// λ-grid rect scaled to DBU.
+fn lr(lam: i64, x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+    Rect::new(x0 * lam, y0 * lam, x1 * lam, y1 * lam)
+}
+
+/// Index of the exact shape, panicking when the art changed under us.
+fn find(shapes: &[(Layer, Rect)], layer: Layer, r: Rect) -> usize {
+    shapes
+        .iter()
+        .position(|&(l, s)| l == layer && s == r)
+        .unwrap_or_else(|| panic!("expected {layer} shape at {r} in the leaf art"))
+}
+
+/// Runs one DRC fault-injection scenario on a clean sram6t: `mutate`
+/// edits the shape list and returns the region of interest; all
+/// resulting violations must be of `class` and one must touch the
+/// region.
+fn assert_drc_flags_exactly(
+    process: &Process,
+    class: RuleClass,
+    mutate: impl Fn(&mut Vec<(Layer, Rect)>, i64, &mut StdRng) -> Rect,
+    seed: u64,
+) {
+    let rules = process.rules();
+    let lam = rules.lambda();
+    let mut shapes = LeafSpec::Sram6t.build(process).flatten();
+    assert!(
+        drc::check(rules, &shapes).is_empty(),
+        "baseline sram6t must be clean"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let region = mutate(&mut shapes, lam, &mut rng);
+    let violations = drc::check(rules, &shapes);
+    assert!(
+        !violations.is_empty(),
+        "[{}] {class} mutation went undetected",
+        process.name()
+    );
+    for v in &violations {
+        assert_eq!(
+            v.class,
+            class,
+            "[{}] expected only {class}, got {v}",
+            process.name()
+        );
+    }
+    assert!(
+        violations.iter().any(|v| {
+            let grown = region.expand(lam);
+            grown.overlaps(v.rect)
+                || grown.touches(v.rect)
+                || v.other
+                    .is_some_and(|o| grown.overlaps(o) || grown.touches(o))
+        }),
+        "[{}] no {class} violation near mutated region {region}",
+        process.name()
+    );
+}
+
+#[test]
+fn width_shrink_is_flagged() {
+    for process in processes() {
+        for seed in 0..4 {
+            assert_drc_flags_exactly(
+                &process,
+                RuleClass::Width,
+                |shapes, lam, rng| {
+                    // Squash the gnd rail below minimum metal1 width.
+                    let i = find(shapes, Layer::Metal1, lr(lam, 0, 0, 26, 3));
+                    let h = rng.gen_range(1..3i64);
+                    shapes[i].1 = lr(lam, 0, 0, 26, h);
+                    shapes[i].1
+                },
+                seed,
+            );
+        }
+    }
+}
+
+#[test]
+fn spacing_shift_is_flagged() {
+    for process in processes() {
+        for seed in 0..4 {
+            assert_drc_flags_exactly(
+                &process,
+                RuleClass::Spacing,
+                |shapes, lam, rng| {
+                    // Slide the gnd rail up toward the storage-node
+                    // metal1 islands (which start at y=6λ).
+                    let i = find(shapes, Layer::Metal1, lr(lam, 0, 0, 26, 3));
+                    let dy = rng.gen_range(1..3i64);
+                    shapes[i].1 = lr(lam, 0, dy, 26, 3 + dy);
+                    shapes[i].1
+                },
+                seed,
+            );
+        }
+    }
+}
+
+#[test]
+fn cut_enclosure_shrink_is_flagged() {
+    for process in processes() {
+        assert_drc_flags_exactly(
+            &process,
+            RuleClass::CutEnclosure,
+            |shapes, lam, _| {
+                // Pull the island's left edge flush with the contact:
+                // zero metal1 margin on one side.
+                let i = find(shapes, Layer::Metal1, lr(lam, 3, 6, 7, 10));
+                shapes[i].1 = lr(lam, 4, 6, 7, 10);
+                shapes[i].1
+            },
+            0,
+        );
+    }
+}
+
+#[test]
+fn gate_extension_shrink_is_flagged() {
+    for process in processes() {
+        assert_drc_flags_exactly(
+            &process,
+            RuleClass::GateExtension,
+            |shapes, lam, _| {
+                // Trim the access-gate endcaps to 1λ past the diffusion.
+                let i = find(shapes, Layer::Poly, lr(lam, 6, 3, 8, 16));
+                shapes[i].1 = lr(lam, 6, 4, 8, 15);
+                shapes[i].1
+            },
+            0,
+        );
+    }
+}
+
+#[test]
+fn sd_extension_shrink_is_flagged() {
+    for process in processes() {
+        for seed in 0..4 {
+            assert_drc_flags_exactly(
+                &process,
+                RuleClass::SdExtension,
+                |shapes, lam, rng| {
+                    // Starve the drain landing right of the gate at
+                    // x=6..8λ (the contact at x=4..6λ keeps its cover).
+                    let i = find(shapes, Layer::Active, lr(lam, 3, 5, 11, 14));
+                    let right = rng.gen_range(9..11i64);
+                    shapes[i].1 = lr(lam, 3, 5, right, 14);
+                    shapes[i].1
+                },
+                seed,
+            );
+        }
+    }
+}
+
+#[test]
+fn poly_active_space_shift_is_flagged() {
+    for process in processes() {
+        assert_drc_flags_exactly(
+            &process,
+            RuleClass::PolyActiveSpace,
+            |shapes, lam, _| {
+                // Drop the wordline onto the diffusion tops: touching
+                // but not crossing, so it never becomes a gate.
+                let i = find(shapes, Layer::Poly, lr(lam, 0, 18, 26, 20));
+                shapes[i].1 = lr(lam, 0, 14, 26, 16);
+                shapes[i].1
+            },
+            0,
+        );
+    }
+}
+
+#[test]
+fn well_enclosure_shrink_is_flagged() {
+    for process in processes() {
+        for seed in 0..4 {
+            assert_drc_flags_exactly(
+                &process,
+                RuleClass::WellEnclosure,
+                |shapes, lam, rng| {
+                    // Retreat the nwell's left edge past the 6λ margin
+                    // around the PMOS diffusion at x=6λ.
+                    let i = find(shapes, Layer::Nwell, lr(lam, 0, 21, 26, 40));
+                    let left = rng.gen_range(1..9i64);
+                    shapes[i].1 = lr(lam, left, 21, 26, 40);
+                    shapes[i].1
+                },
+                seed,
+            );
+        }
+    }
+}
+
+#[test]
+fn select_enclosure_shrink_is_flagged() {
+    for process in processes() {
+        for seed in 0..4 {
+            assert_drc_flags_exactly(
+                &process,
+                RuleClass::SelectEnclosure,
+                |shapes, lam, rng| {
+                    // Clip the nselect implant's top margin over the
+                    // NMOS diffusions (tops at y=14λ).
+                    let i = find(shapes, Layer::Nselect, lr(lam, 1, 3, 25, 16));
+                    let top = rng.gen_range(14..16i64);
+                    shapes[i].1 = lr(lam, 1, 3, 25, top);
+                    shapes[i].1
+                },
+                seed,
+            );
+        }
+    }
+}
+
+/// Deletes one shape from a clean sram6t and asserts DRC stays clean
+/// while LVS reports a coordinate-bearing mismatch.
+fn assert_lvs_flags_deletion(process: &Process, layer: Layer, gone_lambda: (i64, i64, i64, i64)) {
+    let rules = process.rules();
+    let lam = rules.lambda();
+    let spec = LeafSpec::Sram6t;
+    let mut shapes = spec.build(process).flatten();
+    let (x0, y0, x1, y1) = gone_lambda;
+    let i = find(&shapes, layer, lr(lam, x0, y0, x1, y1));
+    shapes.remove(i);
+
+    assert!(
+        drc::check(rules, &shapes).is_empty(),
+        "[{}] deleting the {layer} shape should not create DRC violations",
+        process.name()
+    );
+    let extracted = extract(&shapes);
+    let reference = leaf_schematic(&spec, process).graph();
+    let report = lvs::compare(&extracted.graph, &reference);
+    assert!(
+        !report.is_clean(),
+        "[{}] {layer} deletion went undetected by LVS",
+        process.name()
+    );
+    assert!(
+        report
+            .mismatches
+            .iter()
+            .any(|m| m.extracted_at.is_some() || m.reference_at.is_some()),
+        "[{}] LVS mismatches carry no layout coordinates:\n{report}",
+        process.name()
+    );
+}
+
+#[test]
+fn lvs_catches_deleted_contact() {
+    for process in processes() {
+        // Losing the storage-node contact splits a net in two.
+        assert_lvs_flags_deletion(&process, Layer::Contact, (4, 7, 6, 9));
+    }
+}
+
+#[test]
+fn lvs_catches_deleted_gate() {
+    for process in processes() {
+        // Losing an access gate removes a transistor and merges its
+        // source/drain diffusion into one piece.
+        assert_lvs_flags_deletion(&process, Layer::Poly, (6, 3, 8, 16));
+    }
+}
+
+#[test]
+fn lvs_catches_shorted_storage_nodes() {
+    // A metal1 sliver bridging the two storage-node islands is DRC-legal
+    // (it connects them, so spacing is exempt) but shorts two nets.
+    for process in processes() {
+        let rules = process.rules();
+        let lam = rules.lambda();
+        let spec = LeafSpec::Sram6t;
+        let mut shapes = spec.build(&process).flatten();
+        shapes.push((Layer::Metal1, lr(lam, 3, 6, 23, 10)));
+        assert!(
+            drc::check(rules, &shapes).is_empty(),
+            "[{}] the bridge itself is DRC-legal",
+            process.name()
+        );
+        let extracted = extract(&shapes);
+        let reference = leaf_schematic(&spec, &process).graph();
+        let report = lvs::compare(&extracted.graph, &reference);
+        assert!(
+            !report.is_clean(),
+            "[{}] storage-node short went undetected",
+            process.name()
+        );
+    }
+}

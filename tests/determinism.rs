@@ -144,6 +144,77 @@ fn parallel_and_cached_compiles_match_the_serial_cold_path() {
 }
 
 #[test]
+fn verify_report_is_byte_identical_across_worker_counts() {
+    // Physical verification fans out per-macrocell on the executor and
+    // caches per-macro results; neither may leak into the report. The
+    // serial cold compile is the reference; 2-way and 8-way compiles —
+    // cold and cache-warm — must render the identical report.
+    let params = RamParams::builder()
+        .words(64)
+        .bits_per_word(4)
+        .bits_per_column(4)
+        .spare_rows(4)
+        .build()
+        .expect("valid parameters");
+    let reference = compile_with(
+        &params,
+        &CompileOptions::cold().with_jobs(1).with_verify(true),
+    )
+    .expect("serial verified compile");
+    let reference_bytes = reference
+        .verify_report()
+        .expect("verification requested")
+        .to_string();
+    assert!(reference.verify_report().unwrap().is_clean());
+    for jobs in [2, 8] {
+        let options = CompileOptions::cold().with_jobs(jobs).with_verify(true);
+        let cold = compile_with(&params, &options).expect("parallel verified compile");
+        let warm = compile_with(&params, &options).expect("warm verified compile");
+        assert_eq!(
+            cold.verify_report().unwrap().to_string(),
+            reference_bytes,
+            "jobs={jobs}: parallel verify report diverged from serial"
+        );
+        assert_eq!(
+            warm.verify_report().unwrap().to_string(),
+            reference_bytes,
+            "jobs={jobs}: warm verify report diverged from serial"
+        );
+        assert!(
+            warm.trace().cache_misses() == 0,
+            "jobs={jobs}: warm verified recompile rebuilt an artifact"
+        );
+    }
+}
+
+#[test]
+fn signoff_verification_is_clean_for_every_process() {
+    // The end-to-end acceptance gate: a small module compiled with
+    // verification on must pass DRC and LVS on all twelve macrocells in
+    // every built-in process.
+    for name in ["CDA.5u3m1p", "mos.6u3m1pHP", "CDA.7u3m1p"] {
+        let process = Process::by_name(name).expect("built-in process");
+        let params = RamParams::builder()
+            .words(64)
+            .bits_per_word(4)
+            .bits_per_column(4)
+            .spare_rows(4)
+            .process(process)
+            .build()
+            .expect("valid parameters");
+        let ram = compile_with(
+            &params,
+            &CompileOptions::cold().with_verify(true),
+        )
+        .expect("verified compile");
+        let report = ram.verify_report().expect("verification requested");
+        assert_eq!(report.cells.len(), 12, "{name}");
+        assert!(report.is_clean(), "[{name}]\n{report}");
+        assert_eq!(report.process, name);
+    }
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guard against a degenerate generator that ignores its seed: two
     // different seeds must not produce the same 40-fault list.
