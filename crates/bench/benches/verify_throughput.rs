@@ -10,6 +10,15 @@
 //! even in smoke mode (`BISRAM_BENCH_SMOKE=1`), which is what CI runs.
 //! A third measurement times the full verification path (DRC +
 //! extraction + LVS) through `verify_cell` for scale.
+//!
+//! The second half measures flat vs **hierarchical** verification
+//! (`verify_cell_hier`) over growing bit arrays: flat cost scales with
+//! placed area while the hierarchical engine verifies the one distinct
+//! leaf once and sweeps only instance-boundary halos, so its curve
+//! flattens out. Smoke mode asserts hier is at least 3x faster than
+//! flat on the largest smoke configuration; the full run extends the
+//! hierarchical curve to a 1 Mb+ array (1024x1024) that flat
+//! verification cannot touch in bench time.
 
 use bisram_bench::harness::black_box;
 use bisram_bench::{banner, quick_harness};
@@ -17,18 +26,19 @@ use bisram_geom::{Point, Transform};
 use bisram_layout::leaf::LeafSpec;
 use bisram_layout::Cell;
 use bisram_tech::{drc, Process};
-use bisram_verify::{verify_cell, SchematicLib};
+use bisram_verify::{verify_cell, verify_cell_hier, NoCertStore, SchematicLib};
 use std::sync::Arc;
+use std::time::Instant;
 
 const ROWS: i64 = 32;
 const COLS: i64 = 32;
 
-fn array_macro(process: &Process) -> Cell {
+fn array_cells(process: &Process, rows: i64, cols: i64) -> Cell {
     let lam = process.rules().lambda();
     let sram = Arc::new(LeafSpec::Sram6t.build(process));
     let mut array = Cell::new("bench_array");
-    for row in 0..ROWS {
-        for col in 0..COLS {
+    for row in 0..rows {
+        for col in 0..cols {
             array.add_instance(
                 format!("b{row}_{col}"),
                 sram.clone(),
@@ -37,6 +47,10 @@ fn array_macro(process: &Process) -> Cell {
         }
     }
     array
+}
+
+fn array_macro(process: &Process) -> Cell {
+    array_cells(process, ROWS, COLS)
 }
 
 fn main() {
@@ -95,6 +109,73 @@ fn main() {
              on a flattened array macro, measured {speedup:.2}x"
         );
         println!("PASS: scanline >= 5x pairwise ({speedup:.1}x)");
+    }
+
+    // ---- flat vs hierarchical scaling ------------------------------------
+    //
+    // Single-shot wall-clock per configuration (the big arrays are far
+    // too slow for repeated sampling, and a >=3x bar does not need
+    // sub-millisecond precision). `NoCertStore` keeps the comparison
+    // honest: each hierarchical run re-verifies the leaf once — the
+    // speedup measured here is structural, not cache warmth.
+    let smoke = std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (flat_sizes, hier_sizes): (&[i64], &[i64]) = if smoke {
+        (&[8, 16, 32], &[8, 16, 32])
+    } else {
+        (&[32, 64, 128], &[32, 64, 128, 256, 1024])
+    };
+    println!("\n-- flat vs hierarchical verification scaling --");
+    let mut flat_times = Vec::new();
+    for &n in flat_sizes {
+        let array = array_cells(&process, n, n);
+        let start = Instant::now();
+        let report = black_box(verify_cell(rules, &array, &lib));
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.is_clean(), "{n}x{n} flat report dirty:\n{report}");
+        println!("flat  {n:>5}x{n:<5} ({:>9} bits): {:>9.1} ms", n * n, secs * 1e3);
+        flat_times.push((n, secs, report.to_string()));
+    }
+    let mut hier_times = Vec::new();
+    for &n in hier_sizes {
+        let array = array_cells(&process, n, n);
+        let start = Instant::now();
+        let report = black_box(verify_cell_hier(rules, &array, &lib, &NoCertStore));
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.is_clean(), "{n}x{n} hier report dirty:\n{report}");
+        println!("hier  {n:>5}x{n:<5} ({:>9} bits): {:>9.1} ms", n * n, secs * 1e3);
+        // Wherever both modes ran, the clean reports must be
+        // byte-identical — the hierarchical-mode contract.
+        if let Some((_, _, flat_bytes)) = flat_times.iter().find(|(m, _, _)| *m == n) {
+            assert_eq!(
+                &report.to_string(),
+                flat_bytes,
+                "{n}x{n}: hierarchical report diverged from flat"
+            );
+        }
+        hier_times.push((n, secs));
+    }
+    let (n, flat_at_bar, _) = flat_times.last().expect("flat configurations ran");
+    let hier_at_bar = hier_times
+        .iter()
+        .find(|(hn, _)| hn == n)
+        .map(|(_, s)| *s)
+        .expect("hier ran the largest flat configuration");
+    let ratio = flat_at_bar / hier_at_bar.max(1e-12);
+    assert!(
+        ratio >= 3.0,
+        "hierarchical verification must be at least 3x faster than flat \
+         on the {n}x{n} array, measured {ratio:.2}x"
+    );
+    println!("PASS: hier >= 3x flat ({ratio:.1}x at {n}x{n})");
+    if !smoke {
+        let (big, secs) = hier_times.last().expect("hier configurations ran");
+        println!(
+            "hierarchical 1 Mb+ point: {}x{} = {} bits in {:.2} s",
+            big,
+            big,
+            big * big,
+            secs
+        );
     }
 
     h.final_summary();

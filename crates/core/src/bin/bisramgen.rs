@@ -12,7 +12,7 @@
 //! `sense_path.sp`, and (with `--cif`, small modules only) `layout.cif`.
 
 use bisram_tech::Process;
-use bisramgen::{compile_with, CompileOptions, RamParams};
+use bisramgen::{compile_with, CompileOptions, RamParams, VerifyMode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,6 +30,7 @@ struct Args {
     jobs: Option<usize>,
     timings: bool,
     verify: bool,
+    verify_mode: VerifyMode,
 }
 
 impl Default for Args {
@@ -48,6 +49,7 @@ impl Default for Args {
             jobs: None,
             timings: false,
             verify: false,
+            verify_mode: VerifyMode::Flat,
         }
     }
 }
@@ -72,6 +74,10 @@ OPTIONS:
   --timings        print the per-stage pipeline trace (wall time, cache hits)
   --verify         run physical verification (DRC + extraction + LVS) on every
                    macrocell; writes verify.txt, exits nonzero on violations
+  --verify-mode M  flat (default) checks every placed shape; hier verifies each
+                   distinct cell once behind a cached certificate and checks
+                   only instance-boundary halos — same report, much faster on
+                   large arrays
   --help           show this text
 ";
 
@@ -102,6 +108,11 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => args.jobs = Some(parse_num(&value("--jobs")?)?),
             "--timings" => args.timings = true,
             "--verify" => args.verify = true,
+            "--verify-mode" => {
+                let v = value("--verify-mode")?;
+                args.verify_mode = VerifyMode::parse(&v)
+                    .ok_or_else(|| format!("--verify-mode expects flat|hier, got {v:?}"))?;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -133,7 +144,9 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     eprintln!("compiling {params} ...");
-    let mut options = CompileOptions::new().with_verify(args.verify);
+    let mut options = CompileOptions::new()
+        .with_verify(args.verify)
+        .with_verify_mode(args.verify_mode);
     if let Some(jobs) = args.jobs {
         options = options.with_jobs(jobs);
     }

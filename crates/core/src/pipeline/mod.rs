@@ -79,6 +79,39 @@ pub trait Stage {
     fn describe(artifact: &Self::Artifact) -> String;
 }
 
+/// How signoff verification traverses the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyMode {
+    /// Flatten each macrocell and check every placed shape.
+    #[default]
+    Flat,
+    /// Verify each *distinct* cell once behind a content-keyed
+    /// verified-clean certificate (cache kind `verify-cert`), then
+    /// design-rule check only the halo windows where instances abut.
+    /// Byte-identical reports to [`VerifyMode::Flat`] on clean designs.
+    Hier,
+}
+
+impl VerifyMode {
+    /// Parses the `--verify-mode` spelling (`flat` | `hier`).
+    pub fn parse(s: &str) -> Option<VerifyMode> {
+        match s {
+            "flat" => Some(VerifyMode::Flat),
+            "hier" => Some(VerifyMode::Hier),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VerifyMode::Flat => "flat",
+            VerifyMode::Hier => "hier",
+        })
+    }
+}
+
 /// Knobs for [`compile_with`](crate::compile_with): which cache to use
 /// and how many macrocell workers to run.
 #[derive(Debug, Clone)]
@@ -86,6 +119,7 @@ pub struct CompileOptions {
     jobs: Option<usize>,
     cache: Arc<CellCache>,
     verify: bool,
+    verify_mode: VerifyMode,
 }
 
 impl Default for CompileOptions {
@@ -96,6 +130,7 @@ impl Default for CompileOptions {
             jobs: None,
             cache: Arc::clone(CellCache::global()),
             verify: false,
+            verify_mode: VerifyMode::Flat,
         }
     }
 }
@@ -113,6 +148,7 @@ impl CompileOptions {
             jobs: None,
             cache: Arc::new(CellCache::new()),
             verify: false,
+            verify_mode: VerifyMode::Flat,
         }
     }
 
@@ -148,6 +184,18 @@ impl CompileOptions {
         self.verify
     }
 
+    /// Selects flat or hierarchical verification (default
+    /// [`VerifyMode::Flat`]); only consulted when verification is on.
+    pub fn with_verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify_mode = mode;
+        self
+    }
+
+    /// How signoff verification will traverse the design.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify_mode
+    }
+
     /// The explicit worker count, if fixed.
     pub fn jobs(&self) -> Option<usize> {
         self.jobs
@@ -163,6 +211,7 @@ pub struct PipelineCtx<'a> {
     cache: Arc<CellCache>,
     jobs: usize,
     verify: bool,
+    verify_mode: VerifyMode,
     traces: Mutex<Vec<StageTrace>>,
 }
 
@@ -175,6 +224,7 @@ impl<'a> PipelineCtx<'a> {
             cache: Arc::clone(options.cache()),
             jobs: exec::resolve_jobs(options.jobs()),
             verify: options.verify(),
+            verify_mode: options.verify_mode(),
             traces: Mutex::new(Vec::new()),
         }
     }
@@ -192,6 +242,11 @@ impl<'a> PipelineCtx<'a> {
     /// Whether signoff should run physical verification.
     pub fn verify(&self) -> bool {
         self.verify
+    }
+
+    /// How signoff verification traverses the design.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify_mode
     }
 
     /// Fingerprint of the target process (see
@@ -311,6 +366,7 @@ pub(crate) fn run_pipeline(
     })?;
     let signoff = ctx.run_stage(&signoff::SignoffStage {
         macros: Arc::clone(&macros),
+        floorplan: Arc::clone(&floorplan),
         pla: control.pla.clone(),
     })?;
     Ok(PipelineOutput {

@@ -9,14 +9,17 @@
 //! (kind `verify`) so sweeps re-verify only the macros that actually
 //! changed.
 
+use super::cache::CellCache;
+use super::floorplan::Floorplan;
 use super::key::content_key;
 use super::leaves::LeafKey;
 use super::macrocells::MacroSet;
-use super::{exec, PipelineCtx, Stage};
+use super::{exec, PipelineCtx, Stage, VerifyMode};
 use crate::compiler::CompileError;
 use crate::datasheet::Datasheet;
 use bisram_bist::trpla::Pla;
 use bisram_layout::leaf::LeafSpec;
+use bisram_verify::hier::{boundary_findings, verify_cell_hier, CellCertificate, CertificateStore};
 use bisram_verify::{verify_cell, CellVerifyReport, SchematicLib, VerifyReport};
 use std::sync::Arc;
 
@@ -40,6 +43,9 @@ pub struct Signoff {
 pub struct SignoffStage {
     /// Stage-3 artifact (the cells verification checks).
     pub macros: Arc<MacroSet>,
+    /// Stage-4 artifact: hierarchical verification additionally runs a
+    /// boundary-interaction DRC pass over the placed macros.
+    pub floorplan: Arc<Floorplan>,
     /// The PLA personality (part of the verify cache key: it is the one
     /// macrocell input the parameter fingerprint does not cover).
     pub pla: Pla,
@@ -73,20 +79,52 @@ fn leaf_specs(key: &LeafKey) -> Vec<LeafSpec> {
     ]
 }
 
+/// Adapts the pipeline's [`CellCache`] as a
+/// [`CertificateStore`]: verified-clean certificates live under the new
+/// cache kind `verify-cert`, salted with the schematic-library identity
+/// (the certificate key itself already covers cell content and rules).
+struct CacheCertStore<'a> {
+    cache: &'a CellCache,
+    salt: u64,
+}
+
+impl CertificateStore for CacheCertStore<'_> {
+    fn get_or_build(
+        &self,
+        key: u64,
+        build: &mut dyn FnMut() -> CellCertificate,
+    ) -> Arc<CellCertificate> {
+        match self
+            .cache
+            .get_or_build("verify-cert", content_key(&(self.salt, key)), || Ok(build()))
+        {
+            Ok(cert) => cert,
+            // The builder is infallible; this arm is unreachable but
+            // keeps the adapter total without unwrapping.
+            Err(_) => Arc::new(build()),
+        }
+    }
+}
+
 /// Runs DRC + LVS over every macrocell, in parallel, each macro cached
-/// under kind `verify`.
+/// under kind `verify`. In [`VerifyMode::Hier`] each macro is verified
+/// through content-keyed certificates and the placed floorplan gets a
+/// boundary-interaction DRC pass on top.
 fn verify_macros(
     ctx: &PipelineCtx<'_>,
     macros: &MacroSet,
+    floorplan: &Floorplan,
     pla: &Pla,
 ) -> Result<VerifyReport, CompileError> {
     let process = ctx.params.process();
     let rules = process.rules();
-    let lib = Arc::new(SchematicLib::for_leaves(
-        &leaf_specs(&LeafKey::of(ctx)),
-        process,
-    ));
+    let leaf_key = LeafKey::of(ctx);
+    let lib = Arc::new(SchematicLib::for_leaves(&leaf_specs(&leaf_key), process));
     let fp = ctx.params_fingerprint();
+    let mode = ctx.verify_mode();
+    // The certificate key covers rules + cell content; the salt adds
+    // what else shapes a report — the schematic library identity.
+    let salt = content_key(&(ctx.process_fingerprint(), leaf_key)).0;
     let tasks: Vec<_> = macros
         .cells
         .iter()
@@ -95,18 +133,49 @@ fn verify_macros(
             let cell = Arc::clone(cell);
             move || {
                 ctx.cache()
-                    .get_or_build("verify", content_key(&(fp, pla, *name)), || {
-                        Ok(verify_cell(rules, &cell, &lib))
+                    .get_or_build("verify", content_key(&(fp, pla, *name, mode)), || {
+                        Ok(match mode {
+                            VerifyMode::Flat => verify_cell(rules, &cell, &lib),
+                            VerifyMode::Hier => {
+                                let store = CacheCertStore {
+                                    cache: ctx.cache(),
+                                    salt,
+                                };
+                                verify_cell_hier(rules, &cell, &lib, &store)
+                            }
+                        })
                     })
             }
         })
         .collect();
-    let cells: Vec<Arc<CellVerifyReport>> = exec::run_tasks(ctx.jobs(), tasks)
+    let per_macro: Vec<Arc<CellVerifyReport>> = exec::run_tasks(ctx.jobs(), tasks)
         .into_iter()
         .collect::<Result<_, _>>()?;
+    let mut cells: Vec<CellVerifyReport> = per_macro.iter().map(|c| (**c).clone()).collect();
+    let mut error = None;
+    if mode == VerifyMode::Hier {
+        // Macros are placed with a 12λ margin — wider than the largest
+        // rule distance — so this pass finds nothing on a healthy
+        // placement; it exists to catch placer regressions. Routes are
+        // deliberately excluded: flat mode does not check them either
+        // (they belong to no macrocell).
+        let placed = floorplan.placement.clone().into_cell("floorplan");
+        match boundary_findings(rules, &placed) {
+            Ok(findings) if findings.is_empty() => {}
+            Ok(findings) => cells.push(CellVerifyReport {
+                cell: "floorplan".to_string(),
+                shape_count: 0,
+                drc: findings,
+                lvs: None,
+                error: None,
+            }),
+            Err(e) => error = Some(e),
+        }
+    }
     Ok(VerifyReport {
         process: process.name().to_string(),
-        cells: cells.iter().map(|c| (**c).clone()).collect(),
+        cells,
+        error,
     })
 }
 
@@ -116,12 +185,22 @@ impl Stage for SignoffStage {
     const NAME: &'static str = "signoff";
 
     fn key(&self, ctx: &PipelineCtx<'_>) -> super::key::ContentKey {
-        content_key(&(ctx.params_fingerprint(), ctx.verify(), &self.pla))
+        content_key(&(
+            ctx.params_fingerprint(),
+            ctx.verify(),
+            ctx.verify_mode(),
+            &self.pla,
+        ))
     }
 
     fn run(&self, ctx: &PipelineCtx<'_>) -> Result<Signoff, CompileError> {
         let verify = if ctx.verify() {
-            Some(Arc::new(verify_macros(ctx, &self.macros, &self.pla)?))
+            Some(Arc::new(verify_macros(
+                ctx,
+                &self.macros,
+                &self.floorplan,
+                &self.pla,
+            )?))
         } else {
             None
         };
@@ -174,8 +253,14 @@ mod tests {
                 leaves,
             })
             .unwrap();
+        let floorplan = ctx
+            .run_stage(&crate::pipeline::floorplan::FloorplanStage {
+                macros: Arc::clone(&macros),
+            })
+            .unwrap();
         let stage = SignoffStage {
             macros,
+            floorplan,
             pla: control.pla.clone(),
         };
         stage.run(&ctx).unwrap()
@@ -204,6 +289,31 @@ mod tests {
         let misses = opts.cache().misses();
         let _ = signoff_with(&opts);
         // Second run: every per-macro verify (and everything else) hits.
+        assert_eq!(opts.cache().misses(), misses);
+    }
+
+    #[test]
+    fn hierarchical_report_is_byte_identical_to_flat() {
+        let flat = signoff_with(&CompileOptions::cold().with_verify(true));
+        let hier = signoff_with(
+            &CompileOptions::cold()
+                .with_verify(true)
+                .with_verify_mode(VerifyMode::Hier),
+        );
+        let flat = flat.verify.expect("flat report");
+        let hier = hier.verify.expect("hier report");
+        assert!(flat.is_clean(), "{flat}");
+        assert_eq!(flat.to_string(), hier.to_string());
+    }
+
+    #[test]
+    fn hierarchical_certificates_are_cache_shared() {
+        let opts = CompileOptions::cold()
+            .with_verify(true)
+            .with_verify_mode(VerifyMode::Hier);
+        let _ = signoff_with(&opts);
+        let misses = opts.cache().misses();
+        let _ = signoff_with(&opts);
         assert_eq!(opts.cache().misses(), misses);
     }
 }

@@ -147,6 +147,55 @@ impl Cell {
         }
     }
 
+    /// Flattens only the shapes whose placed rectangle touches or
+    /// overlaps `window`, appending to `out`. Shapes are emitted whole
+    /// (never clipped), under the accumulated transform `t`, in the same
+    /// depth-first order as [`Cell::flatten_into`]. Subtrees whose placed
+    /// [`Cell::geometry_extent`] misses the window are pruned without
+    /// being visited, which is what makes halo-window sweeps over huge
+    /// tilings cheap.
+    pub fn flatten_window_into(&self, t: Transform, window: Rect, out: &mut Vec<(Layer, Rect)>) {
+        for (layer, rect) in &self.shapes {
+            let r = t.apply_rect(*rect);
+            if r.touches(window) {
+                out.push((*layer, r));
+            }
+        }
+        for inst in &self.instances {
+            let ct = inst.transform.then(t);
+            if ct.apply_rect(inst.master.geometry_extent()).touches(window) {
+                inst.master.flatten_window_into(ct, window, out);
+            }
+        }
+    }
+
+    /// The bounding box of every shape in the subtree, in local
+    /// coordinates — `Rect::EMPTY` for a cell with no geometry at all.
+    /// Unlike [`Cell::bbox`] this ignores the outline override and ports:
+    /// it bounds exactly what [`Cell::flatten`] would emit, so it is the
+    /// conservative pruning frame for windowed flattening and the
+    /// abutment frame for hierarchical verification.
+    pub fn geometry_extent(&self) -> Rect {
+        self.geometry_extent_opt().unwrap_or(Rect::EMPTY)
+    }
+
+    fn geometry_extent_opt(&self) -> Option<Rect> {
+        let own = Rect::bounding(self.shapes.iter().map(|&(_, r)| r));
+        let subs = self
+            .instances
+            .iter()
+            .filter_map(|i| {
+                i.master
+                    .geometry_extent_opt()
+                    .map(|e| i.transform.apply_rect(e))
+            })
+            .reduce(Rect::union);
+        match (own, subs) {
+            (Some(a), Some(b)) => Some(a.union(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Total shape count including the hierarchy (cheap complexity
     /// metric used in reports).
     pub fn flat_shape_count(&self) -> usize {
@@ -255,5 +304,53 @@ mod tests {
     fn empty_cell_has_zero_bbox() {
         let c = Cell::new("empty");
         assert_eq!(c.bbox(), Rect::EMPTY);
+    }
+
+    #[test]
+    fn geometry_extent_ignores_outline_and_ports() {
+        let mut c = Cell::new("c");
+        c.add_shape(Layer::Metal1, Rect::new(10, 10, 50, 50));
+        c.set_outline(Rect::new(0, 0, 100, 100));
+        assert_eq!(c.bbox(), Rect::new(0, 0, 100, 100));
+        assert_eq!(c.geometry_extent(), Rect::new(10, 10, 50, 50));
+        // An empty subtree does not drag the extent toward the origin.
+        let mut top = Cell::new("top");
+        top.add_shape(Layer::Poly, Rect::new(400, 400, 500, 500));
+        top.add_instance("e", Arc::new(Cell::new("empty")), Transform::IDENTITY);
+        assert_eq!(top.geometry_extent(), Rect::new(400, 400, 500, 500));
+    }
+
+    #[test]
+    fn windowed_flatten_selects_whole_shapes_in_order() {
+        let mut row = Cell::new("row");
+        for k in 0..8 {
+            row.add_instance(
+                format!("i{k}"),
+                leaf(),
+                Transform::translate(Point::new(k * 100, 0)),
+            );
+        }
+        let top = Arc::new(row);
+        // Window over the boundary between instances 2 and 3: both
+        // shapes are emitted whole, everything else is pruned.
+        let window = Rect::new(290, 0, 310, 100);
+        let mut out = Vec::new();
+        top.flatten_window_into(Transform::IDENTITY, window, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                (Layer::Metal1, Rect::new(200, 0, 300, 100)),
+                (Layer::Metal1, Rect::new(300, 0, 400, 100)),
+            ]
+        );
+        // The windowed output is always a subsequence of the full
+        // flatten, under any window.
+        let flat = top.flatten();
+        for w in [Rect::new(-50, -50, 120, 120), Rect::new(750, 0, 900, 10)] {
+            let mut sel = Vec::new();
+            top.flatten_window_into(Transform::IDENTITY, w, &mut sel);
+            let mut it = flat.iter();
+            assert!(sel.iter().all(|s| it.any(|f| f == s)), "not a subsequence");
+        }
     }
 }

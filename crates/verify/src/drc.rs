@@ -11,6 +11,7 @@
 //! The output order is deterministic: violations are grouped by rule class
 //! in [`RuleClass::ALL`] order, then follow input shape order.
 
+use crate::error::VerifyError;
 use crate::gates;
 use bisram_geom::{sweep, Coord, Rect};
 use bisram_tech::drc::RuleClass;
@@ -101,9 +102,41 @@ fn enclosure_failures(
     failures
 }
 
+/// The largest distance over which any rule can relate two shapes: the
+/// maximum of every same-layer spacing rule and every enclosure or
+/// extension margin. Two shapes farther apart than this can never appear
+/// in the same violation, which is what makes halo-windowed hierarchical
+/// checking sound (see `crate::hier`).
+pub fn interaction_distance(rules: &DesignRules) -> Coord {
+    let mut d = 0;
+    for layer in Layer::ALL {
+        d = d.max(rules.min_space(layer));
+    }
+    d.max(rules.cut_enclosure())
+        .max(rules.gate_extension())
+        .max(rules.sd_extension())
+        .max(rules.poly_active_space())
+        .max(rules.well_enclosure())
+        .max(rules.select_enclosure())
+}
+
+/// Runs [`check`] over a window's shape set and keeps only the findings
+/// that touch `keep` — the boundary strip a hierarchical pass owns.
+/// Findings whose every shape lies outside `keep` belong to some cell's
+/// own certificate and are dropped to avoid double reporting.
+pub fn check_clipped(
+    rules: &DesignRules,
+    shapes: &[(Layer, Rect)],
+    keep: Rect,
+) -> Result<Vec<DrcViolation>, VerifyError> {
+    let mut out = check(rules, shapes)?;
+    out.retain(|v| v.rect.touches(keep) || v.other.is_some_and(|o| o.touches(keep)));
+    Ok(out)
+}
+
 /// Runs the full eight-class check. Degenerate rectangles are ignored, as
 /// in the width/spacing checker.
-pub fn check(rules: &DesignRules, shapes: &[(Layer, Rect)]) -> Vec<DrcViolation> {
+pub fn check(rules: &DesignRules, shapes: &[(Layer, Rect)]) -> Result<Vec<DrcViolation>, VerifyError> {
     // Bucket by layer, preserving input order within each layer.
     let mut by_layer: Vec<Vec<Rect>> = vec![Vec::new(); Layer::ALL.len()];
     for &(layer, rect) in shapes {
@@ -201,7 +234,7 @@ pub fn check(rules: &DesignRules, shapes: &[(Layer, Rect)]) -> Vec<DrcViolation>
 
     // -- Gate recognition, shared by the next three classes ---------------
     let (poly, active) = (on(Layer::Poly), on(Layer::Active));
-    let hits = gates::find_gates(poly, active);
+    let hits = gates::find_gates(poly, active)?;
 
     // Gate extension: every poly/diffusion overlap must be a full crossing
     // with the required endcap; a partial overlap (negative extension) is
@@ -249,10 +282,12 @@ pub fn check(rules: &DesignRules, shapes: &[(Layer, Rect)]) -> Vec<DrcViolation>
                     (lo, hi, h.poly)
                 })
                 .collect();
-            if gate_spans.is_empty() {
-                continue;
-            }
             gate_spans.sort_unstable();
+            // A diffusion with no crossing in this direction has no
+            // source/drain landings to judge.
+            let Some(&(_, last_hi, last_pi)) = gate_spans.last() else {
+                continue;
+            };
             let (a_lo, a_hi) = span(a);
             let mut edge = a_lo;
             for &(lo, hi, pi) in &gate_spans {
@@ -269,7 +304,6 @@ pub fn check(rules: &DesignRules, shapes: &[(Layer, Rect)]) -> Vec<DrcViolation>
                 }
                 edge = edge.max(hi);
             }
-            let (_, last_hi, last_pi) = *gate_spans.last().expect("non-empty");
             let margin = a_hi - last_hi;
             if margin < sd_ext {
                 out.push(DrcViolation {
@@ -340,8 +374,11 @@ pub fn check(rules: &DesignRules, shapes: &[(Layer, Rect)]) -> Vec<DrcViolation>
         });
     }
 
-    out.sort_by_key(|v| RuleClass::ALL.iter().position(|&c| c == v.class));
-    out
+    // `RuleClass` is `Ord` in declaration order, which is exactly
+    // `RuleClass::ALL` order; sorting on the class directly keeps the
+    // grouping total and panic-free for any future rule class.
+    out.sort_by_key(|v| v.class);
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -366,7 +403,7 @@ mod tests {
 
     #[test]
     fn clean_device_passes_all_classes() {
-        let v = check(&rules(), &clean_nmos());
+        let v = check(&rules(), &clean_nmos()).expect("consistent input");
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -374,7 +411,7 @@ mod tests {
     fn short_endcap_is_gate_extension() {
         let mut shapes = clean_nmos();
         shapes[1].1 = Rect::new(600, 400, 800, 1600); // bottom endcap 1λ
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::GateExtension);
         assert_eq!(v[0].actual, 100);
@@ -385,7 +422,7 @@ mod tests {
     fn partial_crossing_is_negative_gate_extension() {
         let mut shapes = clean_nmos();
         shapes[1].1 = Rect::new(600, 700, 800, 1600); // starts inside
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert!(v.iter().any(|v| v.class == RuleClass::GateExtension && v.actual < 0), "{v:?}");
     }
 
@@ -394,7 +431,7 @@ mod tests {
         let mut shapes = clean_nmos();
         // Gate shifted right: only 2λ of diffusion on the drain side.
         shapes[1].1 = Rect::new(700, 300, 900, 1600);
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::SdExtension);
         assert_eq!(v[0].actual, 200);
@@ -409,7 +446,7 @@ mod tests {
             (Layer::Poly, Rect::new(700, 300, 900, 1600)), // 2λ from first
             (Layer::Nselect, Rect::new(-200, 300, 1900, 1600)),
         ];
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert!(
             v.iter().any(|v| v.class == RuleClass::SdExtension && v.actual == 200),
             "{v:?}"
@@ -421,7 +458,7 @@ mod tests {
         let mut shapes = clean_nmos();
         // A wire 0.5λ from the diffusion edge (rule: 1λ).
         shapes.push((Layer::Poly, Rect::new(300, 1450, 1100, 1650)));
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::PolyActiveSpace);
         assert_eq!(v[0].actual, 50);
@@ -431,7 +468,7 @@ mod tests {
     fn abutting_poly_and_diffusion_flagged() {
         let mut shapes = clean_nmos();
         shapes.push((Layer::Poly, Rect::new(300, 1400, 1100, 1600)));
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::PolyActiveSpace);
         assert_eq!(v[0].actual, 0);
@@ -442,7 +479,7 @@ mod tests {
         let mut shapes = clean_nmos();
         // Shift the metal pad so the cut pokes out of it by 1λ.
         shapes[4].1 = Rect::new(500, 600, 900, 1000);
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::CutEnclosure);
         assert_eq!(v[0].layer, Layer::Contact);
@@ -454,7 +491,7 @@ mod tests {
         let mut shapes = clean_nmos();
         // Metal covers the cut exactly, with zero margin on the left.
         shapes[4].1 = Rect::new(400, 600, 800, 1000);
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::CutEnclosure);
         assert_eq!(v[0].actual, 0);
@@ -469,11 +506,11 @@ mod tests {
             (Layer::Pselect, Rect::new(400, 2500, 2200, 3600)),
             (Layer::Nwell, Rect::new(0, 2100, 2600, 4000)),
         ];
-        assert!(check(&rules(), &shapes).is_empty());
+        assert!(check(&rules(), &shapes).expect("consistent input").is_empty());
 
         let mut bad = shapes.clone();
         bad[3].1 = Rect::new(100, 2100, 2600, 4000); // 5λ on the left
-        let v = check(&rules(), &bad);
+        let v = check(&rules(), &bad).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::WellEnclosure);
         assert_eq!(v[0].actual, 500);
@@ -485,14 +522,14 @@ mod tests {
         // NMOS diffusion far from the well: no well enclosure demanded.
         let mut shapes = clean_nmos();
         shapes.push((Layer::Nwell, Rect::new(3000, 3000, 4500, 4500)));
-        assert!(check(&rules(), &shapes).is_empty());
+        assert!(check(&rules(), &shapes).expect("consistent input").is_empty());
     }
 
     #[test]
     fn unimplanted_diffusion_is_select_violation() {
         let mut shapes = clean_nmos();
         shapes[2].1 = Rect::new(200, 300, 1300, 1600); // 1λ left margin
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].class, RuleClass::SelectEnclosure);
         assert_eq!(v[0].actual, 100);
@@ -505,7 +542,7 @@ mod tests {
         // Split the implant across nselect and pselect halves.
         shapes[2].1 = Rect::new(100, 300, 700, 1600);
         shapes.push((Layer::Pselect, Rect::new(600, 300, 1300, 1600)));
-        assert!(check(&rules(), &shapes).is_empty());
+        assert!(check(&rules(), &shapes).expect("consistent input").is_empty());
     }
 
     #[test]
@@ -514,7 +551,7 @@ mod tests {
             (Layer::Metal1, Rect::new(0, 0, 200, 1000)),
             (Layer::Metal1, Rect::new(300, 0, 700, 1000)),
         ];
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         assert_eq!(v.len(), 2, "{v:?}");
         assert_eq!(v[0].class, RuleClass::Width);
         assert_eq!(v[1].class, RuleClass::Spacing);
@@ -525,21 +562,57 @@ mod tests {
         let mut shapes = clean_nmos();
         shapes.push((Layer::Metal2, Rect::new(0, 0, 100, 900))); // width
         shapes[2].1 = Rect::new(200, 300, 1300, 1600); // select margin
-        let v = check(&rules(), &shapes);
-        let positions: Vec<usize> = v
-            .iter()
-            .map(|v| RuleClass::ALL.iter().position(|&c| c == v.class).unwrap())
-            .collect();
-        let mut sorted = positions.clone();
+        let v = check(&rules(), &shapes).expect("consistent input");
+        let classes: Vec<RuleClass> = v.iter().map(|v| v.class).collect();
+        let mut sorted = classes.clone();
         sorted.sort_unstable();
-        assert_eq!(positions, sorted);
+        assert_eq!(classes, sorted);
+    }
+
+    #[test]
+    fn interaction_distance_is_the_widest_rule() {
+        // In the scalable rule set the n-well spacing (9λ) dominates
+        // every other spacing, enclosure, and extension distance.
+        let r = rules();
+        assert_eq!(interaction_distance(&r), r.min_space(Layer::Nwell));
+        for layer in Layer::ALL {
+            assert!(interaction_distance(&r) >= r.min_space(layer));
+        }
+    }
+
+    #[test]
+    fn clipped_check_drops_findings_outside_the_keep_strip() {
+        // Two width violations far apart; the keep window sees only one.
+        let shapes = vec![
+            (Layer::Metal1, Rect::new(0, 0, 200, 1000)),
+            (Layer::Metal1, Rect::new(5000, 0, 5200, 1000)),
+        ];
+        let all = check(&rules(), &shapes).expect("consistent input");
+        assert_eq!(all.len(), 2);
+        let kept = check_clipped(&rules(), &shapes, Rect::new(4000, 0, 6000, 1000))
+            .expect("consistent input");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].rect, Rect::new(5000, 0, 5200, 1000));
+    }
+
+    #[test]
+    fn degenerate_shapes_never_panic() {
+        // Zero-area rects on every layer, including poly/active touch
+        // lines, must be ignored rather than trip internal expects.
+        let mut shapes = clean_nmos();
+        for layer in Layer::ALL {
+            shapes.push((layer, Rect::new(0, 0, 0, 0)));
+            shapes.push((layer, Rect::new(300, 1400, 1100, 1400)));
+        }
+        let v = check(&rules(), &shapes).expect("degenerate shapes are ignored");
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn violation_display_carries_coordinates() {
         let mut shapes = clean_nmos();
         shapes[1].1 = Rect::new(600, 400, 800, 1600);
-        let v = check(&rules(), &shapes);
+        let v = check(&rules(), &shapes).expect("consistent input");
         let s = v[0].to_string();
         assert!(s.contains("gate-extension") && s.contains("[600,400"), "{s}");
     }

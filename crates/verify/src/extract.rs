@@ -23,6 +23,7 @@
 //! same flattened cell yield byte-identical graphs regardless of worker
 //! count upstream.
 
+use crate::error::VerifyError;
 use crate::gates;
 use crate::graph::{Device, Net, NetGraph};
 use bisram_circuit::MosType;
@@ -34,6 +35,10 @@ use bisram_tech::Layer;
 pub struct Extracted {
     /// The extracted circuit.
     pub graph: NetGraph,
+    /// Every conductor node (diffusion piece or wire rect) with the index
+    /// of the net it landed on, in deterministic node order. Hierarchical
+    /// verification uses this to find which nets reach a cell boundary.
+    pub nodes: Vec<(Layer, Rect, usize)>,
     /// Cuts that failed to connect two layers (suspicious but not fatal).
     pub dangling_cuts: usize,
 }
@@ -53,7 +58,7 @@ struct DiffPiece {
 
 /// Extracts the netlist from flattened shapes. Degenerate rectangles are
 /// ignored.
-pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
+pub fn extract(shapes: &[(Layer, Rect)]) -> Result<Extracted, VerifyError> {
     let mut by_layer: Vec<Vec<Rect>> = vec![Vec::new(); Layer::ALL.len()];
     for &(layer, rect) in shapes {
         if !rect.is_degenerate() {
@@ -64,7 +69,7 @@ pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
 
     let active = on(Layer::Active);
     let poly = on(Layer::Poly);
-    let hits = gates::find_gates(poly, active);
+    let hits = gates::find_gates(poly, active)?;
 
     // ---- Split diffusions along their channels -------------------------
     struct PendingDevice {
@@ -201,11 +206,12 @@ pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
             nodes.push((layer, r));
         }
     }
-    let layer_base = |l: Layer| {
-        layer_node_base[METAL_LAYERS
+    let layer_base = |l: Layer| -> Result<usize, VerifyError> {
+        METAL_LAYERS
             .iter()
             .position(|&m| m == l)
-            .expect("conductor layer")]
+            .map(|k| layer_node_base[k])
+            .ok_or(VerifyError::UnexpectedLayer { layer: l })
     };
 
     // ---- Same-layer touching merges ------------------------------------
@@ -213,7 +219,7 @@ pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
     let piece_rects: Vec<Rect> = pieces.iter().map(|p| p.rect).collect();
     sweep::pair_sweep(&piece_rects, 0, |i, j| uf.union(i, j));
     for layer in METAL_LAYERS {
-        let base = layer_base(layer);
+        let base = layer_base(layer)?;
         sweep::pair_sweep(on(layer), 0, |i, j| uf.union(base + i, base + j));
     }
 
@@ -238,7 +244,7 @@ pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
             });
         }
         for &l in lowers.iter().filter(|&&l| l != Layer::Active).chain([&upper]) {
-            let base = layer_base(l);
+            let base = layer_base(l)?;
             sweep::join_sweep(cuts, on(l), 0, |ci, ni| {
                 if cuts[ci].overlaps(on(l)[ni]) {
                     linked[ci].push(base + ni);
@@ -281,7 +287,7 @@ pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
             pmos[di] = true;
         }
     });
-    let poly_base = layer_base(Layer::Poly);
+    let poly_base = layer_base(Layer::Poly)?;
     let isolated = |nets: &mut Vec<Net>| {
         let id = nets.len();
         nets.push(Net {
@@ -312,13 +318,19 @@ pub fn extract(shapes: &[(Layer, Rect)]) -> Extracted {
         })
         .collect();
 
-    Extracted {
+    let node_list = nodes
+        .iter()
+        .zip(&node_net)
+        .map(|(&(layer, rect), &net)| (layer, rect, net))
+        .collect();
+    Ok(Extracted {
         graph: NetGraph {
             nets,
             devices: out_devices,
         },
+        nodes: node_list,
         dangling_cuts,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -344,7 +356,7 @@ mod tests {
 
     #[test]
     fn single_nmos_extraction() {
-        let x = extract(&nmos_shapes());
+        let x = extract(&nmos_shapes()).expect("consistent input");
         let g = &x.graph;
         assert_eq!(g.devices.len(), 1);
         let d = &g.devices[0];
@@ -363,7 +375,7 @@ mod tests {
     fn nwell_overlap_makes_pmos() {
         let mut shapes = nmos_shapes();
         shapes.push((Layer::Nwell, Rect::new(0, 0, 2000, 2000)));
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         assert_eq!(g.devices[0].polarity, MosType::Pmos);
     }
 
@@ -377,7 +389,7 @@ mod tests {
             (Layer::Contact, Rect::new(400, 700, 600, 900)), // abuts poly
             (Layer::Metal1, Rect::new(300, 600, 700, 1000)),
         ];
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         let d = &g.devices[0];
         // Source merged with metal; gate stays its own net.
         let t = g.terminal_counts();
@@ -395,7 +407,7 @@ mod tests {
             (Layer::Contact, Rect::new(500, 700, 700, 900)), // over the gate
             (Layer::Metal1, Rect::new(400, 600, 800, 1000)),
         ];
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         let d = &g.devices[0];
         // The cut overlaps source piece, channel poly and metal: all one
         // net now — a short LVS will catch.
@@ -410,7 +422,7 @@ mod tests {
             (Layer::Poly, Rect::new(300, 300, 500, 1600)),
             (Layer::Poly, Rect::new(1100, 300, 1300, 1600)),
         ];
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         assert_eq!(g.devices.len(), 2);
         let (d0, d1) = (&g.devices[0], &g.devices[1]);
         assert_eq!(d0.sd[1], d1.sd[0], "middle piece shared");
@@ -424,7 +436,7 @@ mod tests {
             (Layer::Active, Rect::new(200, 300, 700, 1300)),
             (Layer::Poly, Rect::new(0, 600, 2600, 800)),
         ];
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         let d = &g.devices[0];
         assert_eq!(d.w, 500);
         assert_eq!(d.l, 200);
@@ -441,7 +453,7 @@ mod tests {
             (Layer::Poly, Rect::new(300, 0, 500, 800)),
             (Layer::Poly, Rect::new(1100, 0, 1300, 800)),
         ];
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         assert_eq!(g.devices.len(), 2);
         let (d0, d1) = (&g.devices[0], &g.devices[1]);
         assert_eq!(d0.sd[1], d1.sd[0], "chain through the abutting pieces");
@@ -456,7 +468,7 @@ mod tests {
             (Layer::Via2, Rect::new(100, 100, 300, 300)),
             (Layer::Metal3, Rect::new(0, 0, 400, 400)),
         ];
-        let x = extract(&shapes);
+        let x = extract(&shapes).expect("consistent input");
         assert_eq!(x.graph.nets.len(), 1);
         assert_eq!(x.dangling_cuts, 0);
     }
@@ -467,7 +479,7 @@ mod tests {
             (Layer::Metal1, Rect::new(0, 0, 400, 400)),
             (Layer::Via1, Rect::new(100, 100, 300, 300)), // no metal2
         ];
-        assert_eq!(extract(&shapes).dangling_cuts, 1);
+        assert_eq!(extract(&shapes).expect("consistent input").dangling_cuts, 1);
     }
 
     #[test]
@@ -476,16 +488,41 @@ mod tests {
             (Layer::Metal1, Rect::new(0, 0, 2600, 300)),
             (Layer::Metal1, Rect::new(0, 2200, 2600, 2500)),
         ];
-        let g = extract(&shapes).graph;
+        let g = extract(&shapes).expect("consistent input").graph;
         assert_eq!(g.nets.len(), 2);
         assert_eq!(g.floating_count(), 2);
     }
 
     #[test]
+    fn node_nets_expose_boundary_membership() {
+        // The node list pairs every conductor rect with its net, so a
+        // caller can tell which nets own shapes on a given boundary.
+        let x = extract(&nmos_shapes()).expect("consistent input");
+        assert_eq!(x.nodes.len(), 2 + 1 + 1); // 2 pieces, poly, metal1
+        for &(_, _, net) in &x.nodes {
+            assert!(net < x.graph.nets.len());
+        }
+        // The metal node shares its net with the contacted source piece.
+        let metal = x.nodes.iter().find(|n| n.0 == Layer::Metal1).unwrap();
+        assert!(x.nodes.iter().any(|n| n.0 == Layer::Active && n.2 == metal.2));
+    }
+
+    #[test]
+    fn degenerate_shapes_never_panic() {
+        let mut shapes = nmos_shapes();
+        for layer in Layer::ALL {
+            shapes.push((layer, Rect::new(0, 0, 0, 0)));
+            shapes.push((layer, Rect::new(300, 1400, 1100, 1400)));
+        }
+        let x = extract(&shapes).expect("degenerate shapes are ignored");
+        assert_eq!(x.graph.devices.len(), 1);
+    }
+
+    #[test]
     fn extraction_is_input_order_deterministic() {
         let shapes = nmos_shapes();
-        let a = extract(&shapes);
-        let b = extract(&shapes);
+        let a = extract(&shapes).expect("consistent input");
+        let b = extract(&shapes).expect("consistent input");
         assert_eq!(format!("{:?}", a.graph), format!("{:?}", b.graph));
         assert_eq!(by_terminals(&a.graph), by_terminals(&b.graph));
     }

@@ -7,6 +7,8 @@
 
 use bisram_geom::{sweep, Coord, Rect};
 
+use crate::error::VerifyError;
+
 /// One strict poly-over-active overlap.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GateHit {
@@ -45,14 +47,28 @@ impl GateHit {
 
 /// All strict poly/active overlaps, ordered by `(active, poly)` index so
 /// downstream per-diffusion grouping is deterministic.
-pub(crate) fn find_gates(poly: &[Rect], active: &[Rect]) -> Vec<GateHit> {
+///
+/// Touch-only (zero-area) contacts between poly and active are not gates
+/// and are skipped. A pair that reports as overlapping but yields an
+/// empty or degenerate intersection is an internal inconsistency in the
+/// shape data and surfaces as a typed error rather than a panic.
+pub(crate) fn find_gates(poly: &[Rect], active: &[Rect]) -> Result<Vec<GateHit>, VerifyError> {
     let mut hits = Vec::new();
+    let mut error = None;
     sweep::join_sweep(poly, active, 0, |pi, ai| {
         let (p, a) = (poly[pi], active[ai]);
         if !p.overlaps(a) {
             return;
         }
-        let overlap = p.intersection(a).expect("overlapping rects intersect");
+        let overlap = match p.intersection(a) {
+            Some(o) if !o.is_degenerate() => o,
+            _ => {
+                if error.is_none() {
+                    error = Some(VerifyError::DegenerateGateOverlap { poly: p, active: a });
+                }
+                return;
+            }
+        };
         hits.push(GateHit {
             poly: pi,
             active: ai,
@@ -61,8 +77,11 @@ pub(crate) fn find_gates(poly: &[Rect], active: &[Rect]) -> Vec<GateHit> {
             overlap,
         });
     });
+    if let Some(e) = error {
+        return Err(e);
+    }
     hits.sort_by_key(|h| (h.active, h.poly));
-    hits
+    Ok(hits)
 }
 
 #[cfg(test)]
@@ -73,7 +92,7 @@ mod tests {
     fn vertical_crossing_recognised() {
         let poly = [Rect::new(6, 3, 8, 16)];
         let active = [Rect::new(3, 5, 11, 14)];
-        let hits = find_gates(&poly, &active);
+        let hits = find_gates(&poly, &active).expect("consistent input");
         assert_eq!(hits.len(), 1);
         let h = hits[0];
         assert!(h.crosses() && h.vertical());
@@ -85,7 +104,7 @@ mod tests {
     fn horizontal_crossing_recognised() {
         let poly = [Rect::new(0, 6, 26, 8)];
         let active = [Rect::new(2, 3, 6, 13)];
-        let h = find_gates(&poly, &active)[0];
+        let h = find_gates(&poly, &active).expect("consistent input")[0];
         assert!(h.crosses() && !h.vertical());
         assert_eq!(h.ext(), 2);
     }
@@ -95,7 +114,7 @@ mod tests {
         // Poly pokes into the diffusion corner without crossing it.
         let poly = [Rect::new(6, 10, 8, 20)];
         let active = [Rect::new(3, 5, 11, 14)];
-        let h = find_gates(&poly, &active)[0];
+        let h = find_gates(&poly, &active).expect("consistent input")[0];
         assert!(!h.crosses());
         assert!(h.ext() < 0);
     }
@@ -104,6 +123,27 @@ mod tests {
     fn touching_pairs_are_ignored() {
         let poly = [Rect::new(0, 14, 26, 16)];
         let active = [Rect::new(3, 5, 11, 14)];
-        assert!(find_gates(&poly, &active).is_empty());
+        assert!(find_gates(&poly, &active).expect("consistent input").is_empty());
+    }
+
+    #[test]
+    fn degenerate_rects_do_not_panic() {
+        // Point rects only touch, never strictly overlap: no gates.
+        let poly = [Rect::new(0, 0, 0, 0)];
+        let active = [Rect::new(3, 5, 11, 14), Rect::new(0, 0, 0, 0)];
+        assert!(find_gates(&poly, &active).expect("no gates").is_empty());
+
+        // A zero-width sliver slicing through a diffusion used to panic
+        // ("overlapping rects intersect"); it now surfaces as a typed
+        // error naming the offending pair.
+        let sliver = [Rect::new(5, 0, 5, 20)];
+        let err = find_gates(&sliver, &active).expect_err("degenerate overlap");
+        assert_eq!(
+            err,
+            VerifyError::DegenerateGateOverlap {
+                poly: Rect::new(5, 0, 5, 20),
+                active: Rect::new(3, 5, 11, 14),
+            }
+        );
     }
 }

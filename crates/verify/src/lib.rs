@@ -15,16 +15,20 @@
 //! returns a [`CellVerifyReport`].
 
 pub mod drc;
+pub mod error;
 pub mod extract;
 mod gates;
 pub mod graph;
+pub mod hier;
 pub mod lvs;
 pub mod report;
 pub mod schematic;
 
 pub use drc::DrcViolation;
+pub use error::VerifyError;
 pub use extract::{extract, Extracted};
 pub use graph::{Device, Net, NetGraph};
+pub use hier::{verify_cell_hier, CellCertificate, CertificateStore, MemCertStore, NoCertStore};
 pub use lvs::{compare, LvsMismatch, LvsReport, MismatchKind};
 pub use report::{CellVerifyReport, VerifyReport};
 pub use schematic::{compose, leaf_schematic, CellSchematic, ComposeError, SchematicLib};
@@ -42,19 +46,32 @@ use bisram_tech::DesignRules;
 /// still available.
 pub fn verify_cell(rules: &DesignRules, cell: &Cell, lib: &SchematicLib) -> CellVerifyReport {
     let shapes = cell.flatten();
-    let drc = drc::check(rules, &shapes);
-    let extracted = extract(&shapes);
-    let (lvs, error) = match schematic::compose(cell, lib) {
-        Ok(reference) => (Some(lvs::compare(&extracted.graph, &reference)), None),
-        Err(e) => (None, Some(e.to_string())),
-    };
-    CellVerifyReport {
+    let mut report = CellVerifyReport {
         cell: cell.name().to_string(),
         shape_count: shapes.len(),
-        drc,
-        lvs,
-        error,
+        drc: Vec::new(),
+        lvs: None,
+        error: None,
+    };
+    match drc::check(rules, &shapes) {
+        Ok(v) => report.drc = v,
+        Err(e) => {
+            report.error = Some(e);
+            return report;
+        }
     }
+    let extracted = match extract(&shapes) {
+        Ok(x) => x,
+        Err(e) => {
+            report.error = Some(e);
+            return report;
+        }
+    };
+    match schematic::compose(cell, lib) {
+        Ok(reference) => report.lvs = Some(lvs::compare(&extracted.graph, &reference)),
+        Err(e) => report.error = Some(e.into()),
+    }
+    report
 }
 
 #[cfg(test)]
@@ -69,7 +86,14 @@ mod tests {
         let cell = LeafSpec::Sram6t.build(&process);
         let report = verify_cell(process.rules(), &cell, &SchematicLib::new());
         assert!(report.lvs.is_none());
-        assert!(report.error.as_deref().unwrap().contains("sram6t"));
+        let err = report.error.as_ref().expect("missing schematic error");
+        assert_eq!(
+            err,
+            &VerifyError::MissingSchematic {
+                cell: "sram6t".into()
+            }
+        );
+        assert!(err.to_string().contains("sram6t"));
         assert!(!report.is_clean());
     }
 

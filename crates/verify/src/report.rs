@@ -1,6 +1,7 @@
 //! Aggregated verification results.
 
 use crate::drc::DrcViolation;
+use crate::error::VerifyError;
 use crate::lvs::LvsReport;
 
 /// DRC + LVS outcome for one cell.
@@ -15,8 +16,9 @@ pub struct CellVerifyReport {
     /// LVS comparison, when a reference netlist could be composed.
     pub lvs: Option<LvsReport>,
     /// Why verification could not complete (e.g. no schematic for the
-    /// cell), mutually exclusive with `lvs`.
-    pub error: Option<String>,
+    /// cell, or an internal geometry inconsistency), mutually exclusive
+    /// with `lvs`.
+    pub error: Option<VerifyError>,
 }
 
 impl CellVerifyReport {
@@ -61,12 +63,17 @@ pub struct VerifyReport {
     pub process: String,
     /// Per-cell results, in verification order.
     pub cells: Vec<CellVerifyReport>,
+    /// A design-level failure that is not attributable to a single cell
+    /// (e.g. the hierarchical boundary pass met inconsistent geometry).
+    /// `None` on every successful run, so clean flat and hierarchical
+    /// reports stay byte-identical.
+    pub error: Option<VerifyError>,
 }
 
 impl VerifyReport {
-    /// True when every cell is clean.
+    /// True when every cell is clean and no design-level error occurred.
     pub fn is_clean(&self) -> bool {
-        self.cells.iter().all(|c| c.is_clean())
+        self.error.is_none() && self.cells.iter().all(|c| c.is_clean())
     }
 
     /// Total DRC violations across all cells.
@@ -95,6 +102,9 @@ impl std::fmt::Display for VerifyReport {
             self.lvs_mismatches(),
             if self.is_clean() { "clean" } else { "DIRTY" }
         )?;
+        if let Some(err) = &self.error {
+            writeln!(f, "  error: {err}")?;
+        }
         for c in &self.cells {
             write!(f, "{c}")?;
         }

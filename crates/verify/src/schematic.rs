@@ -580,7 +580,7 @@ pub fn compose(cell: &Cell, lib: &SchematicLib) -> Result<NetGraph, ComposeError
     Ok(NetGraph { nets, devices })
 }
 
-fn collect(
+pub(crate) fn collect(
     cell: &Cell,
     t: Transform,
     path: &str,
@@ -627,7 +627,7 @@ mod tests {
         let process = p();
         let spec = LeafSpec::Sram6t;
         let cell = spec.build(&process);
-        let extracted = extract(&cell.flatten());
+        let extracted = extract(&cell.flatten()).expect("consistent input");
         let reference = leaf_schematic(&spec, &process).graph();
         let report = lvs::compare(&extracted.graph, &reference);
         assert!(report.is_clean(), "{report}");

@@ -13,7 +13,7 @@ use bisram_rng::rngs::StdRng;
 use bisram_rng::SeedableRng;
 use bisram_tech::Process;
 use bisram_yield::montecarlo::{self, MonteCarloYield};
-use bisramgen::{compile_with, CompileOptions, CompiledRam, RamParams};
+use bisramgen::{compile_with, CompileOptions, CompiledRam, RamParams, VerifyMode};
 
 /// The four byte-exact textual outputs the cache-transparency contract
 /// covers: floorplan SVG, the two PLA personality planes, the itemized
@@ -184,6 +184,57 @@ fn verify_report_is_byte_identical_across_worker_counts() {
             warm.trace().cache_misses() == 0,
             "jobs={jobs}: warm verified recompile rebuilt an artifact"
         );
+    }
+}
+
+#[test]
+fn hierarchical_verify_is_byte_identical_to_flat_everywhere() {
+    // The hierarchical-mode contract: on a clean design the certificate
+    // + boundary-window report must render byte-identically to the flat
+    // one — for all twelve macrocells, in every built-in process, at
+    // every worker count, from both a cold and a warm certificate
+    // cache.
+    for name in ["CDA.5u3m1p", "mos.6u3m1pHP", "CDA.7u3m1p"] {
+        let process = Process::by_name(name).expect("built-in process");
+        let params = RamParams::builder()
+            .words(64)
+            .bits_per_word(4)
+            .bits_per_column(4)
+            .spare_rows(4)
+            .process(process)
+            .build()
+            .expect("valid parameters");
+        let flat = compile_with(
+            &params,
+            &CompileOptions::cold().with_jobs(1).with_verify(true),
+        )
+        .expect("flat verified compile");
+        let flat_report = flat.verify_report().expect("flat report");
+        assert!(flat_report.is_clean(), "[{name}]\n{flat_report}");
+        assert_eq!(flat_report.cells.len(), 12, "{name}");
+        let flat_bytes = flat_report.to_string();
+        for jobs in [1, 2, 8] {
+            let options = CompileOptions::cold()
+                .with_jobs(jobs)
+                .with_verify(true)
+                .with_verify_mode(VerifyMode::Hier);
+            let cold = compile_with(&params, &options).expect("hier cold compile");
+            let warm = compile_with(&params, &options).expect("hier warm compile");
+            assert_eq!(
+                cold.verify_report().expect("hier report").to_string(),
+                flat_bytes,
+                "[{name}] jobs={jobs}: cold hierarchical report diverged from flat"
+            );
+            assert_eq!(
+                warm.verify_report().expect("hier report").to_string(),
+                flat_bytes,
+                "[{name}] jobs={jobs}: warm hierarchical report diverged from flat"
+            );
+            assert!(
+                warm.trace().cache_misses() == 0,
+                "[{name}] jobs={jobs}: warm hierarchical recompile rebuilt an artifact"
+            );
+        }
     }
 }
 
