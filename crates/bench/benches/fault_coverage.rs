@@ -13,7 +13,7 @@
 use bisram_bench::{banner, quick_harness};
 use bisram_bist::coverage;
 use bisram_bist::march;
-use bisram_mem::ArrayOrg;
+use bisram_mem::{ArrayOrg, FaultClass};
 use bisram_bench::harness::Harness;
 use bisram_rng::rngs::StdRng;
 use bisram_rng::SeedableRng;
@@ -44,22 +44,23 @@ fn print_experiment() {
     for (test, johnson, label) in configs {
         let mut rng = StdRng::seed_from_u64(101);
         let report = coverage::measure(&mut rng, org(), &test, johnson, PER_CLASS, true);
-        let pct = |class: &str| report.class(class).map(|c| c.fraction() * 100.0).unwrap_or(0.0);
+        let pct =
+            |class: FaultClass| report.class(class).map(|c| c.fraction() * 100.0).unwrap_or(0.0);
         println!(
             "{:<20} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
             label,
-            pct("SAF"),
-            pct("TF"),
-            pct("SOF"),
-            pct("CFin"),
-            pct("CFid"),
-            pct("CFst"),
-            pct("DRF")
+            pct(FaultClass::Saf),
+            pct(FaultClass::Tf),
+            pct(FaultClass::Sof),
+            pct(FaultClass::CfIn),
+            pct(FaultClass::CfId),
+            pct(FaultClass::CfSt),
+            pct(FaultClass::Drf)
         );
         results.push((label, report));
     }
 
-    let get = |label: &str, class: &str| {
+    let get = |label: &str, class: FaultClass| {
         results
             .iter()
             .find(|(l, _)| *l == label)
@@ -67,10 +68,10 @@ fn print_experiment() {
             .map(|c| c.fraction())
             .expect("measured")
     };
-    assert_eq!(get("IFA-9 / Johnson", "CFst"), 1.0);
-    assert!(get("IFA-9 / single", "CFst") < get("IFA-9 / Johnson", "CFst"));
-    assert_eq!(get("IFA-13 / Johnson", "SOF"), 1.0);
-    assert_eq!(get("MATS+ / Johnson", "DRF"), 0.0);
+    assert_eq!(get("IFA-9 / Johnson", FaultClass::CfSt), 1.0);
+    assert!(get("IFA-9 / single", FaultClass::CfSt) < get("IFA-9 / Johnson", FaultClass::CfSt));
+    assert_eq!(get("IFA-13 / Johnson", FaultClass::Sof), 1.0);
+    assert_eq!(get("MATS+ / Johnson", FaultClass::Drf), 0.0);
     println!("\nshape checks:");
     println!("  Johnson backgrounds lift intra-word coupling coverage to 100%   [OK]");
     println!("  the single-background baseline (Chen-Sunada style) misses them  [OK]");

@@ -9,14 +9,14 @@
 
 use crate::engine::{run_march, BackgroundSchedule, MarchConfig};
 use crate::march::MarchTest;
-use bisram_mem::{ArrayOrg, Fault, FaultKind, SramModel};
+use bisram_mem::{ArrayOrg, Fault, FaultClass, FaultKind, SramModel};
 use bisram_rng::Rng;
 
 /// Coverage of one fault class under one test.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassCoverage {
-    /// Fault-class mnemonic (`SAF`, `TF`, ...).
-    pub class: &'static str,
+    /// The fault class measured.
+    pub class: FaultClass,
     /// Faults injected.
     pub injected: usize,
     /// Faults detected.
@@ -46,9 +46,9 @@ pub struct CoverageReport {
 }
 
 impl CoverageReport {
-    /// Coverage of a class by mnemonic.
-    pub fn class(&self, name: &str) -> Option<&ClassCoverage> {
-        self.classes.iter().find(|c| c.class == name)
+    /// Coverage of one fault class.
+    pub fn class(&self, class: FaultClass) -> Option<&ClassCoverage> {
+        self.classes.iter().find(|c| c.class == class)
     }
 
     /// Overall coverage across all classes.
@@ -88,15 +88,15 @@ pub fn measure<R: Rng + ?Sized>(
     };
 
     type FaultGen<'a, R> = Box<dyn Fn(&mut R) -> Fault + 'a>;
-    let classes: Vec<(&'static str, FaultGen<R>)> = vec![
+    let classes: Vec<(FaultClass, FaultGen<R>)> = vec![
         (
-            "SAF",
+            FaultClass::Saf,
             Box::new(move |rng: &mut R| {
                 Fault::new(random_regular_cell(rng, &org), FaultKind::StuckAt(rng.gen()))
             }),
         ),
         (
-            "TF",
+            FaultClass::Tf,
             Box::new(move |rng: &mut R| {
                 let kind = if rng.gen() {
                     FaultKind::TransitionUp
@@ -107,13 +107,13 @@ pub fn measure<R: Rng + ?Sized>(
             }),
         ),
         (
-            "SOF",
+            FaultClass::Sof,
             Box::new(move |rng: &mut R| {
                 Fault::new(random_regular_cell(rng, &org), FaultKind::StuckOpen)
             }),
         ),
         (
-            "CFin",
+            FaultClass::CfIn,
             Box::new(move |rng: &mut R| {
                 let (victim, aggressor) = coupling_pair(rng, &org, intra_word_coupling);
                 Fault::new(
@@ -126,7 +126,7 @@ pub fn measure<R: Rng + ?Sized>(
             }),
         ),
         (
-            "CFid",
+            FaultClass::CfId,
             Box::new(move |rng: &mut R| {
                 let (victim, aggressor) = coupling_pair(rng, &org, intra_word_coupling);
                 Fault::new(
@@ -140,7 +140,7 @@ pub fn measure<R: Rng + ?Sized>(
             }),
         ),
         (
-            "CFst",
+            FaultClass::CfSt,
             Box::new(move |rng: &mut R| {
                 let (victim, aggressor) = coupling_pair(rng, &org, intra_word_coupling);
                 Fault::new(
@@ -154,7 +154,7 @@ pub fn measure<R: Rng + ?Sized>(
             }),
         ),
         (
-            "DRF",
+            FaultClass::Drf,
             Box::new(move |rng: &mut R| {
                 Fault::new(
                     random_regular_cell(rng, &org),
@@ -253,7 +253,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let report = measure(&mut rng, org(), &march::ifa9(), true, 25, true);
         for c in &report.classes {
-            if c.class == "SOF" {
+            if c.class == FaultClass::Sof {
                 continue; // see ifa13_needed_for_stuck_open below
             }
             assert_eq!(
@@ -278,8 +278,8 @@ mod tests {
         let ifa9 = measure(&mut rng, org(), &march::ifa9(), true, 25, false);
         let mut rng = StdRng::seed_from_u64(19);
         let ifa13 = measure(&mut rng, org(), &march::ifa13(), true, 25, false);
-        assert_eq!(ifa13.class("SOF").unwrap().fraction(), 1.0);
-        assert!(ifa9.class("SOF").unwrap().fraction() < 0.5);
+        assert_eq!(ifa13.class(FaultClass::Sof).unwrap().fraction(), 1.0);
+        assert!(ifa9.class(FaultClass::Sof).unwrap().fraction() < 0.5);
     }
 
     #[test]
@@ -292,21 +292,21 @@ mod tests {
         let single = measure(&mut rng, org(), &march::ifa9(), false, 40, true);
         let mut rng = StdRng::seed_from_u64(13);
         let johnson = measure(&mut rng, org(), &march::ifa9(), true, 40, true);
-        let s = single.class("CFst").unwrap().fraction();
-        let j = johnson.class("CFst").unwrap().fraction();
+        let s = single.class(FaultClass::CfSt).unwrap().fraction();
+        let j = johnson.class(FaultClass::CfSt).unwrap().fraction();
         assert_eq!(j, 1.0, "johnson CFst coverage");
         assert!(s < 0.9, "single-background CFst coverage suspiciously high: {s}");
         assert!(j > s);
         // Stuck-at coverage is unaffected by the background schedule.
-        assert_eq!(single.class("SAF").unwrap().fraction(), 1.0);
+        assert_eq!(single.class(FaultClass::Saf).unwrap().fraction(), 1.0);
     }
 
     #[test]
     fn mats_plus_misses_retention_faults() {
         let mut rng = StdRng::seed_from_u64(17);
         let report = measure(&mut rng, org(), &march::mats_plus(), true, 20, false);
-        assert_eq!(report.class("DRF").unwrap().fraction(), 0.0);
-        assert_eq!(report.class("SAF").unwrap().fraction(), 1.0);
+        assert_eq!(report.class(FaultClass::Drf).unwrap().fraction(), 0.0);
+        assert_eq!(report.class(FaultClass::Saf).unwrap().fraction(), 1.0);
     }
 
     #[test]
@@ -357,20 +357,20 @@ mod tests {
             johnson: true,
             classes: vec![
                 ClassCoverage {
-                    class: "SAF",
+                    class: FaultClass::Saf,
                     injected: 10,
                     detected: 9,
                 },
                 ClassCoverage {
-                    class: "TF",
+                    class: FaultClass::Tf,
                     injected: 0,
                     detected: 0,
                 },
             ],
         };
-        assert!((r.class("SAF").unwrap().fraction() - 0.9).abs() < 1e-12);
-        assert_eq!(r.class("TF").unwrap().fraction(), 1.0);
-        assert!(r.class("ZZZ").is_none());
+        assert!((r.class(FaultClass::Saf).unwrap().fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(r.class(FaultClass::Tf).unwrap().fraction(), 1.0);
+        assert!(r.class(FaultClass::Drf).is_none());
         assert!((r.overall() - 0.9).abs() < 1e-12);
     }
 }

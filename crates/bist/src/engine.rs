@@ -67,6 +67,93 @@ pub struct FailEvent {
     pub background: usize,
 }
 
+/// One fully-attributed comparator mismatch: a [`FailEvent`] plus the
+/// per-bit fail bitmap (`read XOR expected`). This is the raw material
+/// of fault *diagnosis* — which element, which address, which bits —
+/// and what the shared BIST transport ships off-macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailRecord {
+    /// Logical word address at which the mismatch was observed.
+    pub addr: usize,
+    /// Logical row of that address.
+    pub row: usize,
+    /// Column-select of that address.
+    pub col: usize,
+    /// Index of the march element.
+    pub element: usize,
+    /// Index of the operation inside the element.
+    pub op: usize,
+    /// Index of the data background in force.
+    pub background: usize,
+    /// Bit positions that mismatched (`read XOR expected`), LSB = bit 0.
+    pub fail_bits: Word,
+}
+
+impl FailRecord {
+    /// Iterates the failing bit positions, ascending.
+    pub fn failing_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.fail_bits.len()).filter(move |&b| self.fail_bits.get(b))
+    }
+}
+
+/// The complete failure signature of one march run: every mismatch with
+/// its per-element / per-address / per-bit attribution, in occurrence
+/// order. Equality is exact — two signatures are the same if and only
+/// if the memory failed in the identical way, which is what makes the
+/// fault-dictionary diagnosis of `bisram-diag` sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchSignature {
+    /// Name of the march test that produced the signature.
+    pub test: String,
+    /// Addressable words of the array under test.
+    pub words: usize,
+    /// Bits per word.
+    pub bpw: usize,
+    /// Number of data backgrounds applied.
+    pub backgrounds_run: usize,
+    /// Every mismatch, in occurrence order.
+    pub records: Vec<FailRecord>,
+}
+
+impl MarchSignature {
+    /// True when at least one mismatch occurred.
+    pub fn detected(&self) -> bool {
+        !self.records.is_empty()
+    }
+
+    /// Distinct logical rows that produced mismatches, ascending.
+    pub fn faulty_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self.records.iter().map(|r| r.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Distinct `(addr, bit)` positions that ever mismatched, ascending —
+    /// the suspect list a diagnosis engine starts from.
+    pub fn suspects(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .records
+            .iter()
+            .flat_map(|r| r.failing_bits().map(move |b| (r.addr, b)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The records in which `(addr, bit)` failed, as
+    /// `(background, element, op)` triples in occurrence order — the
+    /// per-cell signature key the fault dictionary matches on.
+    pub fn cell_key(&self, addr: usize, bit: usize) -> Vec<(usize, usize, usize)> {
+        self.records
+            .iter()
+            .filter(|r| r.addr == addr && r.fail_bits.get(bit))
+            .map(|r| (r.background, r.element, r.op))
+            .collect()
+    }
+}
+
 /// The outcome of one march run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MarchOutcome {
@@ -185,6 +272,78 @@ pub fn run_march(
         }
     }
     outcome
+}
+
+/// Runs `test` in full-diagnosis mode: every mismatch is logged with its
+/// per-bit fail bitmap (`read XOR expected`), and the run never stops
+/// early — a diagnosis signature must be complete to be matchable
+/// against a fault dictionary. The background schedule of `config` is
+/// honoured; `stop_at_first` is ignored.
+pub fn run_march_diagnose(
+    test: &MarchTest,
+    ram: &mut SramModel,
+    config: &MarchConfig,
+    map: Option<&dyn RowMap>,
+) -> MarchSignature {
+    let bpw = ram.org().bpw();
+    let words = ram.org().words();
+    let backgrounds = match &config.schedule {
+        BackgroundSchedule::Johnson => datagen::backgrounds(bpw),
+        BackgroundSchedule::Single => datagen::single_background(bpw),
+        BackgroundSchedule::Explicit(v) => v.clone(),
+    };
+
+    let mut sig = MarchSignature {
+        test: test.name().to_owned(),
+        words,
+        bpw,
+        backgrounds_run: 0,
+        records: Vec::new(),
+    };
+
+    for (bg_idx, bg) in backgrounds.iter().enumerate() {
+        sig.backgrounds_run = bg_idx + 1;
+        let inv = !bg.clone();
+        for (el_idx, element) in test.elements().iter().enumerate() {
+            match element {
+                MarchElement::Delay => ram.retention_pause(),
+                MarchElement::Sweep { order, ops } => {
+                    let sweep: Box<dyn Iterator<Item = usize>> = if order.effective_up() {
+                        Box::new(0..words)
+                    } else {
+                        Box::new((0..words).rev())
+                    };
+                    for addr in sweep {
+                        let (row, col) = ram.org().split(addr);
+                        let phys_row = map.map_or(row, |m| m.map_row(row));
+                        for (op_idx, op) in ops.iter().enumerate() {
+                            let data = if op.is_inverse() { &inv } else { bg };
+                            match op {
+                                MarchOp::W0 | MarchOp::W1 => {
+                                    ram.write_word_at(phys_row, col, data.clone());
+                                }
+                                MarchOp::R0 | MarchOp::R1 => {
+                                    let read = ram.read_word_at(phys_row, col);
+                                    if mismatch(&read, data) {
+                                        sig.records.push(FailRecord {
+                                            addr,
+                                            row,
+                                            col,
+                                            element: el_idx,
+                                            op: op_idx,
+                                            background: bg_idx,
+                                            fail_bits: &read ^ data,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sig
 }
 
 /// Runs `test` over the *spare rows only* (physical rows
@@ -434,6 +593,77 @@ mod tests {
             &[total, total + 7],
         );
         assert!(failed.is_empty());
+    }
+
+    #[test]
+    fn diagnose_signature_attributes_every_failing_bit() {
+        let mut m = ram(0);
+        let org = *m.org();
+        let c1 = org.cell_at(5, 2, 3);
+        let c2 = org.cell_at(5, 2, 6);
+        m.inject(Fault::new(c1, FaultKind::StuckAt(true)));
+        m.inject(Fault::new(c2, FaultKind::StuckAt(true)));
+        let sig = run_march_diagnose(&march::ifa9(), &mut m, &MarchConfig::default(), None);
+        assert!(sig.detected());
+        assert_eq!(sig.faulty_rows(), vec![5]);
+        let addr = org.join(5, 2);
+        // Both stuck bits appear in the suspect list, nothing else.
+        assert_eq!(sig.suspects(), vec![(addr, 3), (addr, 6)]);
+        // Records carry split coordinates and only the failing bits.
+        for r in &sig.records {
+            assert_eq!((r.addr, r.row, r.col), (addr, 5, 2));
+            let bits: Vec<usize> = r.failing_bits().collect();
+            assert!(!bits.is_empty());
+            assert!(bits.iter().all(|&b| b == 3 || b == 6));
+        }
+        // Per-cell keys are non-empty, and the Johnson backgrounds give
+        // the two bits *different* data — so their keys differ, which is
+        // exactly the per-bit attribution diagnosis relies on.
+        let k1 = sig.cell_key(addr, 3);
+        let k2 = sig.cell_key(addr, 6);
+        assert!(!k1.is_empty() && !k2.is_empty());
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn diagnose_never_stops_early_and_matches_run_march() {
+        let mut m = ram(0);
+        m.inject(Fault::new(m.org().cell_at(0, 0, 0), FaultKind::StuckAt(true)));
+        m.inject(Fault::new(
+            m.org().cell_at(10, 1, 2),
+            FaultKind::StuckAt(false),
+        ));
+        // Even with a quick() config the diagnosis run logs everything.
+        let sig = run_march_diagnose(&march::ifa9(), &mut m, &MarchConfig::quick(), None);
+        assert!(sig.records.len() > 1);
+
+        // Same schedule => the signature's (addr, element, op, background)
+        // stream equals run_march's fail stream.
+        let rebuild = || {
+            let mut m = ram(0);
+            m.inject(Fault::new(m.org().cell_at(0, 0, 0), FaultKind::StuckAt(true)));
+            m.inject(Fault::new(
+                m.org().cell_at(10, 1, 2),
+                FaultKind::StuckAt(false),
+            ));
+            m
+        };
+        let cfg = MarchConfig::default();
+        let sig = run_march_diagnose(&march::ifa13(), &mut rebuild(), &cfg, None);
+        let out = run_march(&march::ifa13(), &mut rebuild(), &cfg, None);
+        let from_sig: Vec<FailEvent> = sig
+            .records
+            .iter()
+            .map(|r| FailEvent {
+                addr: r.addr,
+                row: r.row,
+                element: r.element,
+                op: r.op,
+                background: r.background,
+            })
+            .collect();
+        assert_eq!(from_sig, out.fails());
+        assert_eq!(sig.backgrounds_run, out.backgrounds_run());
     }
 
     #[test]

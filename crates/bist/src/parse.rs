@@ -16,75 +16,132 @@
 //! op       := 'r0' | 'r1' | 'w0' | 'w1'
 //! ```
 //!
-//! Whitespace is free; `Delay` is case-insensitive.
+//! Whitespace is free; `Delay` is case-insensitive. The grammar is
+//! strict: an empty element between two `;` separators (or a trailing
+//! `;`) is a [`MarchParseError::EmptyElement`], never silently skipped —
+//! a stray separator in a personality file usually means a hand edit
+//! dropped an element, and the march that results would be shorter than
+//! intended.
 
 use crate::march::{AddrOrder, MarchElement, MarchOp, MarchTest};
 
-/// Error produced when parsing march notation.
+/// Typed error produced when parsing march notation. Every variant
+/// carries the byte offset of the offending token in the input text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseMarchError {
-    /// Byte offset of the offending token.
-    pub offset: usize,
-    /// Human-readable description.
-    pub message: String,
+pub enum MarchParseError {
+    /// The input contains no elements at all.
+    EmptyTest,
+    /// Two `;` separators with nothing between them (or a trailing `;`).
+    EmptyElement {
+        /// Byte offset of the empty chunk.
+        offset: usize,
+    },
+    /// The element does not start with an address-order arrow.
+    UnknownSymbol {
+        /// Byte offset of the element.
+        offset: usize,
+        /// The character found where an arrow was expected.
+        symbol: char,
+    },
+    /// The op list after the arrow is not parenthesized.
+    MissingParens {
+        /// Byte offset of the element.
+        offset: usize,
+    },
+    /// An operation token is not one of `r0`/`r1`/`w0`/`w1`.
+    UnknownOperation {
+        /// Byte offset of the element.
+        offset: usize,
+        /// The offending token text.
+        op: String,
+    },
 }
 
-impl std::fmt::Display for ParseMarchError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "march syntax error at byte {}: {}", self.offset, self.message)
+impl MarchParseError {
+    /// Byte offset of the offending token (0 for [`MarchParseError::EmptyTest`]).
+    pub fn offset(&self) -> usize {
+        match self {
+            MarchParseError::EmptyTest => 0,
+            MarchParseError::EmptyElement { offset }
+            | MarchParseError::UnknownSymbol { offset, .. }
+            | MarchParseError::MissingParens { offset }
+            | MarchParseError::UnknownOperation { offset, .. } => *offset,
+        }
     }
 }
 
-impl std::error::Error for ParseMarchError {}
+impl std::fmt::Display for MarchParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarchParseError::EmptyTest => {
+                write!(f, "march syntax error: test has no elements")
+            }
+            MarchParseError::EmptyElement { offset } => {
+                write!(f, "march syntax error at byte {offset}: empty element between separators")
+            }
+            MarchParseError::UnknownSymbol { offset, symbol } => write!(
+                f,
+                "march syntax error at byte {offset}: expected an address-order arrow (^ v $), found {symbol:?}"
+            ),
+            MarchParseError::MissingParens { offset } => write!(
+                f,
+                "march syntax error at byte {offset}: element body must be parenthesized, e.g. ^(r0,w1)"
+            ),
+            MarchParseError::UnknownOperation { offset, op } => write!(
+                f,
+                "march syntax error at byte {offset}: unknown operation {op:?} (expected r0/r1/w0/w1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MarchParseError {}
 
 /// Parses a march test from its notation.
 ///
 /// # Errors
 ///
-/// Returns [`ParseMarchError`] on malformed notation.
+/// Returns [`MarchParseError`] on malformed notation. Nothing is ever
+/// skipped: every chunk between `;` separators must parse as an element.
 ///
 /// ```
 /// use bisram_bist::parse::parse_march;
 /// let t = parse_march("mytest", "$(w0); ^(r0,w1); v(r1,w0)")?;
 /// assert_eq!(t.ops_per_address(), 5);
-/// # Ok::<(), bisram_bist::parse::ParseMarchError>(())
+/// # Ok::<(), bisram_bist::parse::MarchParseError>(())
 /// ```
-pub fn parse_march(name: &str, text: &str) -> Result<MarchTest, ParseMarchError> {
+pub fn parse_march(name: &str, text: &str) -> Result<MarchTest, MarchParseError> {
+    if text.trim().is_empty() {
+        return Err(MarchParseError::EmptyTest);
+    }
     let mut elements = Vec::new();
     for raw in text.split(';') {
         let chunk = raw.trim();
-        if chunk.is_empty() {
-            continue;
-        }
         let offset = offset_of(text, raw);
+        if chunk.is_empty() {
+            return Err(MarchParseError::EmptyElement { offset });
+        }
         if chunk.eq_ignore_ascii_case("delay") {
             elements.push(MarchElement::Delay);
             continue;
         }
         let mut chars = chunk.char_indices();
-        let (_, arrow) = chars.next().ok_or_else(|| ParseMarchError {
-            offset,
-            message: "empty element".to_owned(),
-        })?;
+        let (_, arrow) = chars
+            .next()
+            .ok_or(MarchParseError::EmptyElement { offset })?;
         let order = match arrow {
             '^' | '⇑' => AddrOrder::Up,
             'v' | 'V' | '⇓' => AddrOrder::Down,
             '$' | '⇕' => AddrOrder::Either,
             c => {
-                return Err(ParseMarchError {
-                    offset,
-                    message: format!("expected an address-order arrow (^ v $), found {c:?}"),
-                })
+                return Err(MarchParseError::UnknownSymbol { offset, symbol: c });
             }
         };
         let rest = chars.as_str().trim();
         let body = rest
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
-            .ok_or_else(|| ParseMarchError {
-                offset,
-                message: "element body must be parenthesized, e.g. ^(r0,w1)".to_owned(),
-            })?;
+            .ok_or(MarchParseError::MissingParens { offset })?;
         let mut ops = Vec::new();
         for op_txt in body.split(',') {
             let op = match op_txt.trim() {
@@ -93,27 +150,18 @@ pub fn parse_march(name: &str, text: &str) -> Result<MarchTest, ParseMarchError>
                 "w0" | "W0" => MarchOp::W0,
                 "w1" | "W1" => MarchOp::W1,
                 other => {
-                    return Err(ParseMarchError {
+                    return Err(MarchParseError::UnknownOperation {
                         offset,
-                        message: format!("unknown operation {other:?} (expected r0/r1/w0/w1)"),
+                        op: other.to_owned(),
                     })
                 }
             };
             ops.push(op);
         }
-        if ops.is_empty() {
-            return Err(ParseMarchError {
-                offset,
-                message: "element has no operations".to_owned(),
-            });
-        }
         elements.push(MarchElement::Sweep { order, ops });
     }
     if elements.is_empty() {
-        return Err(ParseMarchError {
-            offset: 0,
-            message: "march test has no elements".to_owned(),
-        });
+        return Err(MarchParseError::EmptyTest);
     }
     Ok(MarchTest::new(name, elements))
 }
@@ -154,23 +202,58 @@ mod tests {
     }
 
     #[test]
-    fn error_positions_and_messages() {
-        let e = parse_march("x", "^(r0); q(w1)").unwrap_err();
-        assert!(e.message.contains("arrow"), "{e}");
-        assert!(e.offset > 0);
+    fn typed_errors_carry_position_and_token() {
+        match parse_march("x", "^(r0); q(w1)").unwrap_err() {
+            MarchParseError::UnknownSymbol { offset, symbol } => {
+                assert_eq!(symbol, 'q');
+                assert!(offset > 0);
+            }
+            e => panic!("wrong variant: {e:?}"),
+        }
 
-        let e = parse_march("x", "^(r2)").unwrap_err();
-        assert!(e.message.contains("unknown operation"));
+        match parse_march("x", "^(r2)").unwrap_err() {
+            MarchParseError::UnknownOperation { op, .. } => assert_eq!(op, "r2"),
+            e => panic!("wrong variant: {e:?}"),
+        }
 
-        let e = parse_march("x", "^r0").unwrap_err();
-        assert!(e.message.contains("parenthesized"));
+        match parse_march("x", "^r0").unwrap_err() {
+            MarchParseError::MissingParens { offset } => assert_eq!(offset, 0),
+            e => panic!("wrong variant: {e:?}"),
+        }
 
-        let e = parse_march("x", "^()").unwrap_err();
-        assert!(e.message.contains("unknown operation") || e.message.contains("no operations"));
+        // An empty op list parses `""` as an unknown operation.
+        match parse_march("x", "^()").unwrap_err() {
+            MarchParseError::UnknownOperation { op, .. } => assert_eq!(op, ""),
+            e => panic!("wrong variant: {e:?}"),
+        }
 
-        let e = parse_march("x", "  ;  ; ").unwrap_err();
-        assert!(e.message.contains("no elements"));
-        assert!(e.to_string().contains("byte"));
+        let e = parse_march("x", "   ").unwrap_err();
+        assert_eq!(e, MarchParseError::EmptyTest);
+        assert_eq!(e.offset(), 0);
+        assert!(e.to_string().contains("no elements"));
+    }
+
+    #[test]
+    fn empty_elements_are_errors_not_skips() {
+        // A doubled separator used to be skipped silently, masking a
+        // hand-edit that dropped an element from a personality file.
+        match parse_march("x", "^(r0);; ^(w1)").unwrap_err() {
+            MarchParseError::EmptyElement { offset } => assert_eq!(offset, 6),
+            e => panic!("wrong variant: {e:?}"),
+        }
+        // Trailing separator: same rule.
+        match parse_march("x", "^(r0); ").unwrap_err() {
+            MarchParseError::EmptyElement { offset } => assert!(offset > 0),
+            e => panic!("wrong variant: {e:?}"),
+        }
+        // Separators only: flagged at the first empty chunk.
+        match parse_march("x", "  ;  ; ").unwrap_err() {
+            MarchParseError::EmptyElement { offset } => assert_eq!(offset, 0),
+            e => panic!("wrong variant: {e:?}"),
+        }
+        let shown = parse_march("x", "^(r0);;").unwrap_err().to_string();
+        assert!(shown.contains("byte"), "{shown}");
+        assert!(shown.contains("empty element"), "{shown}");
     }
 
     #[test]

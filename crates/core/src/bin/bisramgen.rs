@@ -10,9 +10,20 @@
 //! Outputs written to the `--out` directory: `datasheet.txt`,
 //! `areas.txt`, `floorplan.svg`, `trpla_and.plane`, `trpla_or.plane`,
 //! `sense_path.sp`, and (with `--cif`, small modules only) `layout.cif`.
+//!
+//! The `chip-diagnose` subcommand runs the chip-level
+//! diagnose→allocate→repair flow on a heterogeneous multi-macro chip
+//! behind a (optionally faulty) shared BIST transport:
+//!
+//! ```sh
+//! bisramgen chip-diagnose --macros 16 --seed 7 --process CDA.7u3m1p \
+//!           --budget 2048 --timeout-prob 0.1
+//! ```
 
 use bisram_tech::Process;
-use bisramgen::{compile_with, CompileOptions, RamParams, VerifyMode};
+use bisramgen::diag::{Transport, TransportFaults};
+use bisramgen::field::{heterogeneous_chip, ChipConfig, ChipModel};
+use bisramgen::{compile_with, ChipSheet, CompileOptions, RamParams, VerifyMode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -79,6 +90,34 @@ OPTIONS:
                    only instance-boundary halos — same report, much faster on
                    large arrays
   --help           show this text
+
+SUBCOMMANDS:
+  chip-diagnose    diagnose and repair a heterogeneous multi-macro chip over a
+                   shared BIST transport; see `bisramgen chip-diagnose --help`
+";
+
+const CHIP_USAGE: &str = "\
+bisramgen chip-diagnose - chip-level diagnosis, spare allocation and repair
+
+USAGE:
+  bisramgen chip-diagnose [OPTIONS]
+
+OPTIONS:
+  --macros N        macro instances on the chip (default 16)
+  --seed N          chip seed: derives macro organizations, injected faults
+                    and transport noise (default 1)
+  --budget N        chip spare-row area budget in cell units (default unlimited)
+  --process NAME    process the spare area is priced in (default CDA.7u3m1p)
+  --jobs N          worker threads (default: BISRAM_JOBS, then all cores)
+  --stuck-bit B:V   scan-link bit B stuck at V (0|1)
+  --drop-prob P     per-word drop probability (default 0)
+  --dup-prob P      per-word duplication probability (default 0)
+  --timeout-prob P  per-attempt session timeout probability (default 0)
+  --help            show this text
+
+Prints the per-macro repair report and the chip datasheet section. Exit is
+nonzero only on usage errors: degraded macros (detect-only / quarantined /
+failed) are an expected, explicitly reported outcome, not a tool failure.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -128,7 +167,96 @@ fn parse_num(s: &str) -> Result<usize, String> {
         .map_err(|_| format!("expected a number, got {s:?}"))
 }
 
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p = s
+        .parse::<f64>()
+        .map_err(|_| format!("expected a probability, got {s:?}"))?;
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(format!("probability {p} outside [0, 1]"))
+    }
+}
+
+fn chip_diagnose(args: Vec<String>) -> Result<(), String> {
+    let mut macros = 16usize;
+    let mut seed = 1u64;
+    let mut budget = u64::MAX;
+    let mut process_name = "CDA.7u3m1p".to_owned();
+    let mut jobs = None;
+    let mut faults = TransportFaults::none();
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--macros" => macros = parse_num(&value("--macros")?)?,
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("expected a seed, got {v:?}"))?;
+            }
+            "--budget" => {
+                let v = value("--budget")?;
+                budget = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("expected a budget, got {v:?}"))?;
+            }
+            "--process" => process_name = value("--process")?,
+            "--jobs" => jobs = Some(parse_num(&value("--jobs")?)?),
+            "--stuck-bit" => {
+                let v = value("--stuck-bit")?;
+                let (b, val) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--stuck-bit expects B:V, got {v:?}"))?;
+                let bit = parse_num(b)?;
+                if bit >= 64 {
+                    return Err(format!("--stuck-bit bit {bit} outside 0..64"));
+                }
+                let stuck = match val {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("--stuck-bit value must be 0|1, got {other:?}")),
+                };
+                faults.stuck_bit = Some((bit as u8, stuck));
+            }
+            "--drop-prob" => faults.drop_probability = parse_prob(&value("--drop-prob")?)?,
+            "--dup-prob" => faults.duplicate_probability = parse_prob(&value("--dup-prob")?)?,
+            "--timeout-prob" => faults.timeout_probability = parse_prob(&value("--timeout-prob")?)?,
+            "--help" | "-h" => {
+                print!("{CHIP_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?} (try chip-diagnose --help)")),
+        }
+    }
+
+    let process = Process::by_name(&process_name).ok_or_else(|| {
+        format!("unknown process {process_name:?}; built-ins: CDA.5u3m1p, mos.6u3m1pHP, CDA.7u3m1p")
+    })?;
+    let mut config = ChipConfig::new(heterogeneous_chip(macros, seed), budget, seed);
+    config.transport = Transport::with_faults(faults);
+    config.jobs = jobs;
+
+    eprintln!(
+        "diagnosing {macros}-macro chip (seed {seed:#x}, march {}) ...",
+        config.test.name()
+    );
+    let report = ChipModel::new(config).diagnose_and_repair();
+    print!("{report}");
+    print!("{}", ChipSheet::from_report(&report, &process));
+    eprintln!("chip-diagnose done: every macro in an explicit state");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("chip-diagnose") {
+        return chip_diagnose(raw[1..].to_vec());
+    }
     let args = parse_args()?;
     let process = Process::by_name(&args.process)
         .ok_or_else(|| format!("unknown process {:?}; built-ins: CDA.5u3m1p, mos.6u3m1pHP, CDA.7u3m1p", args.process))?;

@@ -13,8 +13,9 @@ use bisram_circuit::campath::{self, TlbTiming};
 use bisram_circuit::elmore;
 use bisram_circuit::le::{self, GateType, Path};
 use bisram_circuit::snm::{self, CellGeometry};
-use bisram_field::{censored_mttf, simulate_fleet, FieldConfig};
+use bisram_field::{censored_mttf, simulate_fleet, ChipRepairReport, DegradationState, FieldConfig};
 use bisram_layout::leaf;
+use bisram_tech::Process;
 use bisram_yield::reliability::ReliabilityModel;
 
 /// Lifetime figures for the datasheet's reliability section: the
@@ -37,6 +38,82 @@ pub struct ReliabilitySheet {
     pub lifetimes: usize,
     /// Of those, how many failed inside the horizon.
     pub deaths: usize,
+}
+
+/// The chip-level repair section of a datasheet: a
+/// [`ChipRepairReport`] summarized and priced in silicon area for a
+/// concrete process (granted spare rows × the 6T cell footprint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSheet {
+    /// Process the spare area is priced in.
+    pub process: String,
+    /// Macros on the chip.
+    pub macros: usize,
+    /// Macros fully repaired (or born clean).
+    pub repaired: usize,
+    /// Macros left detect-only (budget or spare shortfall).
+    pub detect_only: usize,
+    /// Macros quarantined by the transport.
+    pub quarantined: usize,
+    /// Macros whose repair failed verification.
+    pub failed: usize,
+    /// Spare rows the diagnoses demanded chip-wide.
+    pub rows_requested: usize,
+    /// Spare rows the allocator granted.
+    pub rows_granted: usize,
+    /// Chip redundancy budget, in cell units.
+    pub budget_units: u64,
+    /// Budget actually spent, in cell units.
+    pub spent_units: u64,
+    /// Silicon area of the granted spare cells, mm².
+    pub spare_area_mm2: f64,
+}
+
+impl ChipSheet {
+    /// Summarizes a chip run. Budget units are SRAM cells (a spare row's
+    /// cost is its cell count), so the spent figure converts directly to
+    /// area through the process's 6T cell footprint.
+    pub fn from_report(report: &ChipRepairReport, process: &Process) -> ChipSheet {
+        let lambda_m = process.rules().lambda() as f64 * 1e-9;
+        let cell_m2 = leaf::SRAM_W as f64 * leaf::SRAM_H as f64 * lambda_m * lambda_m;
+        ChipSheet {
+            process: process.name().to_owned(),
+            macros: report.macros.len(),
+            repaired: report.count(DegradationState::Healthy),
+            detect_only: report.count(DegradationState::DetectOnly),
+            quarantined: report.count(DegradationState::Quarantined),
+            failed: report.count(DegradationState::Failed),
+            rows_requested: report.plan.rows_requested,
+            rows_granted: report.plan.rows_granted,
+            budget_units: report.plan.budget,
+            spent_units: report.plan.spent,
+            spare_area_mm2: report.plan.spent as f64 * cell_m2 * 1e6,
+        }
+    }
+}
+
+impl std::fmt::Display for ChipSheet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "chip repair ({}):", self.process)?;
+        writeln!(
+            f,
+            "  macros        : {:8}  ({} repaired, {} detect-only, {} quarantined, {} failed)",
+            self.macros, self.repaired, self.detect_only, self.quarantined, self.failed
+        )?;
+        writeln!(
+            f,
+            "  spare rows    : {:8}  of {} requested",
+            self.rows_granted, self.rows_requested
+        )?;
+        let budget = if self.budget_units == u64::MAX {
+            "unlimited".to_owned()
+        } else {
+            format!("{}", self.budget_units)
+        };
+        writeln!(f, "  budget spent  : {:8}  of {budget} cell units", self.spent_units)?;
+        writeln!(f, "  spare area    : {:10.6} mm2", self.spare_area_mm2)?;
+        Ok(())
+    }
 }
 
 /// The extrapolated electrical datasheet of a compiled RAM.
@@ -352,6 +429,33 @@ mod tests {
         // Deterministic: same seed, same sheet.
         let again = Datasheet::extrapolate(&p).with_simulated_reliability(&p, 1e-9, 24, 0xD5);
         assert_eq!(d, again);
+    }
+
+    #[test]
+    fn chip_sheet_summarizes_a_chip_run() {
+        use bisram_field::{heterogeneous_chip, ChipConfig, ChipModel};
+        let cfg = ChipConfig::new(heterogeneous_chip(4, 9), u64::MAX, 9);
+        let report = ChipModel::new(cfg).diagnose_and_repair();
+        let sheet = ChipSheet::from_report(&report, &Process::cda07());
+        assert_eq!(sheet.macros, 4);
+        assert_eq!(
+            sheet.repaired + sheet.detect_only + sheet.quarantined + sheet.failed,
+            4,
+            "every macro lands in exactly one state"
+        );
+        assert_eq!(sheet.rows_granted, report.plan.rows_granted);
+        // Cell-unit costs convert to a plausible spare area.
+        assert!(sheet.spare_area_mm2 >= 0.0);
+        if sheet.spent_units > 0 {
+            assert!(sheet.spare_area_mm2 > 0.0);
+        }
+        let s = sheet.to_string();
+        for key in ["chip repair", "macros", "spare rows", "budget spent", "spare area"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        // A scaled-down process prices the same spares smaller.
+        let smaller = ChipSheet::from_report(&report, &Process::cda05());
+        assert!(smaller.spare_area_mm2 <= sheet.spare_area_mm2);
     }
 
     #[test]

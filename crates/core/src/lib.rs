@@ -44,7 +44,7 @@ pub mod pipeline;
 
 pub use compiler::{compile, compile_with, Areas, CompileError, CompiledRam};
 pub use pipeline::{CellCache, CompileOptions, PipelineTrace, VerifyMode};
-pub use datasheet::{Datasheet, ReliabilitySheet};
+pub use datasheet::{ChipSheet, Datasheet, ReliabilitySheet};
 pub use overhead::{overhead_row, OverheadRow};
 pub use params::{ParamError, RamParams, RamParamsBuilder};
 
@@ -52,6 +52,7 @@ pub use params::{ParamError, RamParams, RamParamsBuilder};
 // presents itself as a single entry point.
 pub use bisram_bist as bist;
 pub use bisram_circuit as circuit;
+pub use bisram_diag as diag;
 pub use bisram_field as field;
 pub use bisram_geom as geom;
 pub use bisram_layout as layout;

@@ -1,0 +1,50 @@
+//! Fault diagnosis from march signatures.
+//!
+//! Detection tells you *that* a memory is faulty; repair allocation needs
+//! to know *where* and *what*. This crate turns the full failure
+//! signature of a diagnostic march run ([`bisram_bist::engine::MarchSignature`])
+//! into localized, classified faults:
+//!
+//! * [`mod@diagnose`] — fault-dictionary matching: every suspect cell's
+//!   per-element/per-background failure key is compared against the keys
+//!   that each single-cell fault hypothesis (SAF, TF, SOF, DRF) would
+//!   produce under the same march. Hypotheses whose keys match exactly
+//!   form the *candidate set*. Ambiguity is a first-class result: a
+//!   `TF⟨↑⟩` in a test that never exercises the failing transition is
+//!   indistinguishable from `SAF/0`, and the candidate set says so
+//!   instead of guessing.
+//! * [`probe`] — active coupling-fault resolution: when no single-cell
+//!   hypothesis explains a suspect, a binary-search group probe over the
+//!   physical array localizes the aggressor cell, and a short stimulus
+//!   sequence (rising / falling / same-state writes against both victim
+//!   sentinels) separates `CFin` / `CFid` / `CFst` and recovers their
+//!   parameters.
+//! * [`wire`] — the serialized signature format a shared chip-level BIST
+//!   transport ships off-macro: framed `u64` words with a magic header,
+//!   explicit length and an FNV-1a checksum, so link faults are detected
+//!   rather than silently corrupting a diagnosis.
+//! * [`transport`] — the shared-link fault model itself (stuck scan-link
+//!   bit, dropped / duplicated response words, session timeouts) plus
+//!   bounded retry-with-backoff delivery.
+//!
+//! The chip-level orchestration — many macros behind one transport,
+//! global spare allocation, graceful degradation — lives in
+//! `bisram-field`; this crate is the per-macro diagnosis engine it calls.
+
+// Diagnosis runs inside chip-lifetime loops that must not abort; fallible
+// paths return typed errors (documented `# Panics` invariants excepted).
+// Enforced by CI clippy.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod diagnose;
+pub mod probe;
+pub mod transport;
+pub mod wire;
+
+pub use diagnose::{
+    diagnose, diagnose_signature, validate, DiagnosedFault, DiagnosisConfig, MacroDiagnosis,
+    ValidationReport,
+};
+pub use probe::{probe_coupling, ProbeOutcome};
+pub use transport::{Delivery, Transport, TransportError, TransportFaults};
+pub use wire::{decode_signature, encode_signature, frames_valid, WireError};

@@ -28,9 +28,13 @@
 // device lifetime: fallible paths return data, they do not unwrap.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod chip;
 mod fleet;
 mod sim;
 
+pub use chip::{
+    heterogeneous_chip, ChipConfig, ChipModel, ChipRepairReport, MacroReport, MacroSpec,
+};
 pub use fleet::{censored_mttf, simulate_fleet, simulate_fleet_jobs, FleetResult};
 pub use sim::{
     simulate_lifetime, DegradationState, FailureCause, FieldConfig, FieldEvent, LifetimeOutcome,

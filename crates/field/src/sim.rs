@@ -122,15 +122,35 @@ pub enum FailureCause {
     FaultsPersist,
 }
 
-/// Whether the device still guarantees a repaired address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Whether a device (or one macro of a chip) still guarantees a
+/// repaired address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum DegradationState {
     /// Every detected fault has been mapped to a spare.
     #[default]
     Healthy,
-    /// Spares exhausted: sessions keep running and reporting, writes to
-    /// the unrepairable region are no longer protected.
+    /// Repair incomplete (spares or chip budget exhausted): sessions
+    /// keep running and reporting, writes to the unrepairable region are
+    /// no longer protected.
     DetectOnly,
+    /// The macro's BIST transport never produced a valid session despite
+    /// bounded retries — no diagnosis exists, the macro is fenced off
+    /// and the rest of the chip proceeds.
+    Quarantined,
+    /// Repair was applied in full but verification still fails (e.g.
+    /// every replacement spare turned out faulty).
+    Failed,
+}
+
+impl std::fmt::Display for DegradationState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradationState::Healthy => "repaired",
+            DegradationState::DetectOnly => "detect-only",
+            DegradationState::Quarantined => "quarantined",
+            DegradationState::Failed => "failed",
+        })
+    }
 }
 
 /// One entry of the structured, deterministic lifetime log.

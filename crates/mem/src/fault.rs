@@ -9,6 +9,66 @@
 
 use crate::org::CellIndex;
 
+/// The functional fault *classes* of the IFA taxonomy — the typed key
+/// every coverage and diagnosis table is indexed by. The `Display`
+/// strings are the classical mnemonics (`SAF`, `TF`, ...) and are part
+/// of the stable report format; the enum exists so lookups are checked
+/// at compile time instead of through string comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Stuck-at faults.
+    Saf,
+    /// Transition faults (both directions).
+    Tf,
+    /// Stuck-open faults.
+    Sof,
+    /// Inversion coupling faults.
+    CfIn,
+    /// Idempotent coupling faults.
+    CfId,
+    /// State coupling faults.
+    CfSt,
+    /// Data-retention faults.
+    Drf,
+}
+
+impl FaultClass {
+    /// Every class, in the canonical report order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::Saf,
+        FaultClass::Tf,
+        FaultClass::Sof,
+        FaultClass::CfIn,
+        FaultClass::CfId,
+        FaultClass::CfSt,
+        FaultClass::Drf,
+    ];
+
+    /// The stable mnemonic used in every rendered report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Saf => "SAF",
+            FaultClass::Tf => "TF",
+            FaultClass::Sof => "SOF",
+            FaultClass::CfIn => "CFin",
+            FaultClass::CfId => "CFid",
+            FaultClass::CfSt => "CFst",
+            FaultClass::Drf => "DRF",
+        }
+    }
+
+    /// True for the coupling classes (those carrying an aggressor).
+    pub fn is_coupling(self) -> bool {
+        matches!(self, FaultClass::CfIn | FaultClass::CfId | FaultClass::CfSt)
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The kind of a single-cell (or cell-pair) functional fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -80,17 +140,17 @@ impl FaultKind {
         }
     }
 
-    /// Short class mnemonic (`SAF`, `TF`, `SOF`, `CFin`, `CFid`, `CFst`,
-    /// `DRF`) used in coverage reports.
-    pub fn class(&self) -> &'static str {
+    /// The typed fault class (rendered as `SAF`, `TF`, `SOF`, `CFin`,
+    /// `CFid`, `CFst`, `DRF` in coverage reports).
+    pub fn class(&self) -> FaultClass {
         match self {
-            FaultKind::StuckAt(_) => "SAF",
-            FaultKind::TransitionUp | FaultKind::TransitionDown => "TF",
-            FaultKind::StuckOpen => "SOF",
-            FaultKind::CouplingInv { .. } => "CFin",
-            FaultKind::CouplingIdem { .. } => "CFid",
-            FaultKind::StateCoupling { .. } => "CFst",
-            FaultKind::Retention { .. } => "DRF",
+            FaultKind::StuckAt(_) => FaultClass::Saf,
+            FaultKind::TransitionUp | FaultKind::TransitionDown => FaultClass::Tf,
+            FaultKind::StuckOpen => FaultClass::Sof,
+            FaultKind::CouplingInv { .. } => FaultClass::CfIn,
+            FaultKind::CouplingIdem { .. } => FaultClass::CfId,
+            FaultKind::StateCoupling { .. } => FaultClass::CfSt,
+            FaultKind::Retention { .. } => FaultClass::Drf,
         }
     }
 }
@@ -183,14 +243,14 @@ mod tests {
 
     #[test]
     fn classes_and_aggressors() {
-        assert_eq!(FaultKind::StuckAt(true).class(), "SAF");
-        assert_eq!(FaultKind::TransitionUp.class(), "TF");
-        assert_eq!(FaultKind::StuckOpen.class(), "SOF");
+        assert_eq!(FaultKind::StuckAt(true).class(), FaultClass::Saf);
+        assert_eq!(FaultKind::TransitionUp.class(), FaultClass::Tf);
+        assert_eq!(FaultKind::StuckOpen.class(), FaultClass::Sof);
         let cf = FaultKind::CouplingInv {
             aggressor: 42,
             rising: true,
         };
-        assert_eq!(cf.class(), "CFin");
+        assert_eq!(cf.class(), FaultClass::CfIn);
         assert!(cf.is_coupling());
         assert_eq!(cf.aggressor(), Some(42));
         assert_eq!(FaultKind::StuckAt(false).aggressor(), None);
@@ -210,5 +270,18 @@ mod tests {
             },
         );
         assert!(f.to_string().contains("CFst"));
+    }
+
+    #[test]
+    fn class_mnemonics_are_the_stable_report_strings() {
+        // The Display strings are a frozen report format: coverage
+        // tables, datasheets and CI greps all key on them.
+        let expect = ["SAF", "TF", "SOF", "CFin", "CFid", "CFst", "DRF"];
+        for (class, s) in FaultClass::ALL.iter().zip(expect) {
+            assert_eq!(class.as_str(), s);
+            assert_eq!(class.to_string(), s);
+        }
+        assert!(FaultClass::CfSt.is_coupling());
+        assert!(!FaultClass::Drf.is_coupling());
     }
 }

@@ -204,7 +204,7 @@ mod tests {
     fn stuck_at_only_mix_produces_only_saf() {
         let mut rng = StdRng::seed_from_u64(1);
         let faults = random_faults(&mut rng, &org(), 50, &FaultMix::stuck_at_only());
-        assert!(faults.iter().all(|f| f.kind.class() == "SAF"));
+        assert!(faults.iter().all(|f| f.kind.class() == crate::FaultClass::Saf));
     }
 
     #[test]
@@ -213,8 +213,8 @@ mod tests {
         let faults = random_faults(&mut rng, &org(), 500, &FaultMix::default());
         let classes: std::collections::HashSet<_> =
             faults.iter().map(|f| f.kind.class()).collect();
-        for c in ["SAF", "TF", "SOF", "CFin", "CFid", "CFst", "DRF"] {
-            assert!(classes.contains(c), "missing class {c}");
+        for c in crate::FaultClass::ALL {
+            assert!(classes.contains(&c), "missing class {c}");
         }
     }
 
@@ -276,18 +276,19 @@ mod tests {
     fn single_category_mixes_select_exactly_that_category() {
         // The explicit fall-through must route a draw to the one positive
         // weight, whatever its position — never to retention by default.
-        let cases: [(FaultMix, &[&str]); 3] = [
+        use crate::FaultClass;
+        let cases: [(FaultMix, &[FaultClass]); 3] = [
             (
                 FaultMix { stuck_at: 0.0, transition: 1.0, stuck_open: 0.0, coupling: 0.0, retention: 0.0 },
-                &["TF"],
+                &[FaultClass::Tf],
             ),
             (
                 FaultMix { stuck_at: 0.0, transition: 0.0, stuck_open: 0.0, coupling: 1.0, retention: 0.0 },
-                &["CFin", "CFid", "CFst"],
+                &[FaultClass::CfIn, FaultClass::CfId, FaultClass::CfSt],
             ),
             (
                 FaultMix { stuck_at: 0.0, transition: 0.0, stuck_open: 0.0, coupling: 0.0, retention: 1.0 },
-                &["DRF"],
+                &[FaultClass::Drf],
             ),
         ];
         for (mix, classes) in cases {

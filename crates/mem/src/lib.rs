@@ -40,7 +40,7 @@ mod org;
 mod sram;
 mod word;
 
-pub use fault::{Fault, FaultKind, RowFault};
+pub use fault::{Fault, FaultClass, FaultKind, RowFault};
 pub use inject::{column_failure, random_faults, row_failure, FaultMix};
 pub use org::{ArrayOrg, CellIndex, OrgError};
 pub use sram::{AccessStats, SramModel};

@@ -162,6 +162,13 @@ impl SramModel {
         out
     }
 
+    /// The injected fault kinds at one cell, in injection order — the
+    /// per-cell ground-truth accessor diagnosis cross-validation keys on.
+    /// Empty when the cell is healthy.
+    pub fn faults_at(&self, cell: CellIndex) -> Vec<FaultKind> {
+        self.faults.get(&cell).cloned().unwrap_or_default()
+    }
+
     /// True when no faults are injected.
     pub fn is_fault_free(&self) -> bool {
         self.faults.is_empty() && self.row_faults.is_empty()

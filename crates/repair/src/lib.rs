@@ -22,7 +22,9 @@
 //!   register),
 //! * [`chen_sunada`] — the 1993 Chen–Sunada hierarchical baseline (two
 //!   fault-capture blocks per subblock plus a top-level fault assembler),
-//! * [`column`] — column-failure detection through redundancy swamping.
+//! * [`mod@column`] — column-failure detection through redundancy swamping,
+//! * [`budget`] — chip-level spare allocation across many macros under
+//!   an area budget (greedy, certified against an exact reference).
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@
 // sections; casual unwraps are lint errors under `-D warnings` in CI.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 pub mod chen_sunada;
 pub mod column;
 pub mod flow;

@@ -7,7 +7,7 @@ use bisram_bist::engine::{run_march, BackgroundSchedule, MarchConfig};
 use bisram_bist::march;
 use bisram_bist::trpla::{assemble, ControllerSim};
 use bisram_bist::IdentityMap;
-use bisram_mem::{random_faults, ArrayOrg, FaultMix, SramModel};
+use bisram_mem::{random_faults, ArrayOrg, FaultClass, FaultMix, SramModel};
 use bisram_rng::rngs::StdRng;
 use bisram_rng::SeedableRng;
 
@@ -20,7 +20,14 @@ fn ifa9_covers_the_paper_classes() {
     // SAF, TF, CF (all three), DRF at 100% with the Johnson schedule.
     let mut rng = StdRng::seed_from_u64(5);
     let report = coverage::measure(&mut rng, org(), &march::ifa9(), true, 30, true);
-    for class in ["SAF", "TF", "CFin", "CFid", "CFst", "DRF"] {
+    for class in [
+        FaultClass::Saf,
+        FaultClass::Tf,
+        FaultClass::CfIn,
+        FaultClass::CfId,
+        FaultClass::CfSt,
+        FaultClass::Drf,
+    ] {
         assert_eq!(
             report.class(class).expect("measured").fraction(),
             1.0,

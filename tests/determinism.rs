@@ -8,12 +8,14 @@
 //! generators and demands exact equality, not statistical closeness.
 
 use bisram_bist::{coverage, march};
-use bisram_mem::{random_faults, ArrayOrg, FaultMix};
+use bisram_mem::{random_faults, ArrayOrg, FaultClass, FaultMix};
 use bisram_rng::rngs::StdRng;
 use bisram_rng::SeedableRng;
 use bisram_tech::Process;
 use bisram_yield::montecarlo::{self, MonteCarloYield};
-use bisramgen::{compile_with, CompileOptions, CompiledRam, RamParams, VerifyMode};
+use bisramgen::diag::{Transport, TransportFaults};
+use bisramgen::field::{heterogeneous_chip, ChipConfig, ChipModel};
+use bisramgen::{compile_with, ChipSheet, CompileOptions, CompiledRam, RamParams, VerifyMode};
 
 /// The four byte-exact textual outputs the cache-transparency contract
 /// covers: floorplan SVG, the two PLA personality planes, the itemized
@@ -71,7 +73,7 @@ fn same_seed_gives_identical_coverage_report() {
     let a = run();
     let b = run();
     assert_eq!(a, b, "coverage campaigns diverged");
-    for class in ["SAF", "TF"] {
+    for class in [FaultClass::Saf, FaultClass::Tf] {
         let ca = a.class(class).expect("class present");
         let cb = b.class(class).expect("class present");
         assert_eq!(ca, cb, "class {class}");
@@ -263,6 +265,60 @@ fn signoff_verification_is_clean_for_every_process() {
         assert!(report.is_clean(), "[{name}]\n{report}");
         assert_eq!(report.process, name);
     }
+}
+
+#[test]
+fn chip_repair_report_is_byte_identical_across_workers_and_reruns() {
+    // The chip-level diagnose→allocate→repair flow fans out per macro on
+    // the executor and draws per-macro RNG streams; neither scheduling
+    // nor worker count may leak into the report. A noisy transport makes
+    // this a real test: retries and quarantines must land identically.
+    let mut base = ChipConfig::new(heterogeneous_chip(12, 0xC41F), 512, 0xC41F);
+    base.transport = Transport::with_faults(TransportFaults {
+        drop_probability: 0.01,
+        duplicate_probability: 0.005,
+        timeout_probability: 0.15,
+        ..TransportFaults::none()
+    });
+    let run = |jobs: usize| {
+        let mut cfg = base.clone();
+        cfg.jobs = Some(jobs);
+        ChipModel::new(cfg).diagnose_and_repair()
+    };
+    // Serial is the reference; a second serial run is the "warm" rerun
+    // (freshly constructed chip, same seed — nothing carries over).
+    let reference = run(1);
+    let rerun = run(1);
+    assert_eq!(reference, rerun, "cold/warm serial chip runs diverged");
+    let reference_bytes = reference.to_string();
+    assert_eq!(rerun.to_string(), reference_bytes);
+    for jobs in [2, 8] {
+        let parallel = run(jobs);
+        assert_eq!(parallel, reference, "jobs={jobs}: chip report diverged");
+        assert_eq!(
+            parallel.to_string(),
+            reference_bytes,
+            "jobs={jobs}: chip report bytes diverged"
+        );
+        let again = run(jobs);
+        assert_eq!(
+            again.to_string(),
+            reference_bytes,
+            "jobs={jobs}: rerun diverged"
+        );
+    }
+    // The derived datasheet section is deterministic too, per process.
+    for name in ["CDA.5u3m1p", "mos.6u3m1pHP", "CDA.7u3m1p"] {
+        let process = Process::by_name(name).expect("built-in process");
+        let a = ChipSheet::from_report(&reference, &process).to_string();
+        let b = ChipSheet::from_report(&run(8), &process).to_string();
+        assert_eq!(a, b, "{name}: chip sheet diverged");
+    }
+    // The noise actually exercised the retry path somewhere.
+    assert!(
+        reference.macros.iter().any(|m| m.transport_attempts > 1),
+        "transport noise never fired — test lost its teeth"
+    );
 }
 
 #[test]
