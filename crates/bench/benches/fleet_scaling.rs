@@ -1,27 +1,40 @@
-//! Parallel-fleet scaling: the Monte-Carlo lifetime engine over the
-//! shared executor.
+//! Parallel-fleet scaling: the Monte-Carlo lifetime engines over the
+//! shared executor — lane-packed and golden, across a workers grid.
 //!
-//! Two contracts are checked here, mirroring the field crate's tests at
-//! bench scale:
+//! Three contracts are checked here, mirroring the field crate's tests
+//! at bench scale:
 //!
-//! * **Determinism** (always asserted): `simulate_fleet_jobs` is byte-
-//!   identical at 1, 2 and 8 workers — per-lifetime seeds are index-
-//!   derived and the partial aggregates merge in a job-count-independent
-//!   chunk order. CI greps the `fleet determinism: PASS` marker.
-//! * **Scaling** (asserted only where it can hold): at least 1.5x going
-//!   from 1 to 4 workers, skipped with a `parallel speedup: SKIPPED`
-//!   marker on machines with fewer than 4 cores — a single-core CI
-//!   runner cannot show parallel speedup no matter how good the
-//!   executor is.
+//! * **Determinism** (always asserted): both engines are byte-identical
+//!   to themselves at 1, 2 and 8 workers *and* to each other — the
+//!   lane-packed engine walks 64 lifetimes per machine word yet must
+//!   reproduce the golden per-trial path bit for bit. CI greps the
+//!   `fleet determinism: PASS` and `lane vs golden: PASS` markers.
+//! * **Lane speedup** (always asserted, smoke included): the packed
+//!   engine must beat the golden engine by at least [`LANE_SPEEDUP_FLOOR`]
+//!   at equal work on one worker. This holds on any machine — it is
+//!   data-level, not thread-level, parallelism. CI greps
+//!   `lane speedup: PASS`.
+//! * **Thread scaling** (asserted only where it can hold): at least 1.5x
+//!   going from 1 to 4 workers, skipped with a `parallel speedup:
+//!   SKIPPED` marker on machines with fewer than 4 cores.
+//!
+//! The full (non-smoke) run closes with a million-lifetime lane-packed
+//! fleet and reports its wall time and throughput.
 
 use bisram_bench::harness::{black_box, Harness};
 use bisram_bench::{banner, quick_harness};
-use bisram_field::{simulate_fleet_jobs, FieldConfig};
+use bisram_field::{simulate_fleet_golden_jobs, simulate_fleet_jobs, FieldConfig};
 use bisram_mem::ArrayOrg;
 use std::time::Instant;
 
 /// Minimum 4-worker-over-serial speedup, asserted on >=4-core machines.
 const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Minimum lane-packed-over-golden speedup at equal work on one worker,
+/// asserted unconditionally (including smoke mode): 64 lifetimes per
+/// word walk must buy at least this much even after the masking
+/// overhead.
+const LANE_SPEEDUP_FLOOR: f64 = 4.0;
 
 fn config() -> FieldConfig {
     let org = ArrayOrg::new(64, 4, 2, 4).expect("valid bench geometry");
@@ -42,32 +55,65 @@ fn min_time<F: FnMut()>(k: usize, mut f: F) -> f64 {
 fn main() {
     banner(
         "fleet_scaling",
-        "parallel Monte-Carlo lifetime fleets over the shared executor",
+        "lane-packed and golden Monte-Carlo lifetime fleets over the shared executor",
     );
     let smoke = std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let cfg = config();
-    let lifetimes = if smoke { 24 } else { 96 };
+    // Straddle the 64-lane width so the grid covers ragged final batches.
+    let lifetimes = if smoke { 130 } else { 520 };
     let seed = 0xF1EE7;
 
-    // Determinism across worker counts — always asserted.
-    let serial = simulate_fleet_jobs(&cfg, lifetimes, seed, 1);
+    // Determinism grid: engines x worker counts, all byte-identical.
+    let reference = simulate_fleet_jobs(&cfg, lifetimes, seed, 1);
     for jobs in [2, 8] {
         let parallel = simulate_fleet_jobs(&cfg, lifetimes, seed, jobs);
         assert!(
-            serial == parallel,
-            "fleet result changed between 1 and {jobs} workers"
+            reference == parallel,
+            "lane fleet changed between 1 and {jobs} workers"
         );
     }
-    println!("fleet determinism: PASS (1 == 2 == 8 workers, {lifetimes} lifetimes)");
+    println!("fleet determinism: PASS (lanes, 1 == 2 == 8 workers, {lifetimes} lifetimes)");
+    for jobs in [1, 2, 8] {
+        let golden = simulate_fleet_golden_jobs(&cfg, lifetimes, seed, jobs);
+        assert!(
+            reference == golden,
+            "golden fleet at {jobs} workers diverged from the lane-packed result"
+        );
+    }
+    println!("lane vs golden: PASS (byte-identical at 1 / 2 / 8 workers, {lifetimes} lifetimes)");
     println!(
         "fleet: {} deaths / {} lifetimes, censored MTTF {:.0} h",
-        serial.deaths, serial.lifetimes, serial.mttf_hours
+        reference.deaths, reference.lifetimes, reference.mttf_hours
     );
 
-    // Scaling floor — only meaningful with real cores to scale onto.
+    // Lane speedup over the golden path at equal work — data-level
+    // parallelism, so this is asserted even on a single-core runner and
+    // even in smoke mode.
+    let reps = if smoke { 2 } else { 5 };
+    let t_golden = min_time(reps, || {
+        black_box(simulate_fleet_golden_jobs(&cfg, lifetimes, seed, 1));
+    });
+    let t_lane = min_time(reps, || {
+        black_box(simulate_fleet_jobs(&cfg, lifetimes, seed, 1));
+    });
+    let lane_speedup = t_golden / t_lane;
+    println!(
+        "golden {:.3} ms, lanes {:.3} ms -> {lane_speedup:.2}x",
+        t_golden * 1e3,
+        t_lane * 1e3
+    );
+    assert!(
+        lane_speedup >= LANE_SPEEDUP_FLOOR,
+        "lane packing must stay >= {LANE_SPEEDUP_FLOOR}x over the golden path, \
+         got {lane_speedup:.2}x"
+    );
+    println!(
+        "lane speedup: PASS ({lane_speedup:.2}x >= {LANE_SPEEDUP_FLOOR}x over golden, 1 worker)"
+    );
+
+    // Thread-scaling floor — only meaningful with real cores to scale onto.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cores >= 4 {
-        let reps = if smoke { 2 } else { 5 };
         let t1 = min_time(reps, || {
             black_box(simulate_fleet_jobs(&cfg, lifetimes, seed, 1));
         });
@@ -90,12 +136,29 @@ fn main() {
         println!("parallel speedup: SKIPPED (needs >= 4 cores, machine has {cores})");
     }
 
+    // The headline number: a million lifetimes on the lane-packed engine
+    // (full runs only — smoke keeps CI fast).
+    if !smoke {
+        let start = Instant::now();
+        let million = simulate_fleet_jobs(&cfg, 1_000_000, seed, cores);
+        let wall = start.elapsed().as_secs_f64();
+        println!(
+            "fleet 1M: {} deaths / {} lifetimes in {wall:.1} s ({:.0} lifetimes/s, {cores} workers)",
+            million.deaths,
+            million.lifetimes,
+            1.0e6 / wall
+        );
+    }
+
     // Timed groups for the summary table.
     let mut c: Harness = quick_harness();
-    c.bench_function("fleet_serial", |b| {
+    c.bench_function("fleet_lanes_serial", |b| {
         b.iter(|| simulate_fleet_jobs(&cfg, lifetimes, seed, 1))
     });
-    c.bench_function("fleet_4_workers", |b| {
+    c.bench_function("fleet_golden_serial", |b| {
+        b.iter(|| simulate_fleet_golden_jobs(&cfg, lifetimes, seed, 1))
+    });
+    c.bench_function("fleet_lanes_4_workers", |b| {
         b.iter(|| simulate_fleet_jobs(&cfg, lifetimes, seed, 4))
     });
     c.final_summary();

@@ -22,7 +22,9 @@
 //!   through an optional row-address translation hook (the BISR TLB
 //!   plugs in here),
 //! * [`coverage`] — fault-injection campaigns measuring fault coverage
-//!   per fault class.
+//!   per fault class,
+//! * [`lane`] — lane-packed march and MISR evaluation: one walk advances
+//!   64 device instances for the fleet lifetime simulator.
 //!
 //! # Examples
 //!
@@ -49,6 +51,7 @@ pub mod addgen;
 pub mod coverage;
 pub mod datagen;
 pub mod engine;
+pub mod lane;
 pub mod march;
 pub mod parse;
 pub mod transparent;

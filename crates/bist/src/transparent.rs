@@ -134,8 +134,9 @@ impl TransparentDiagnosis {
 
 /// The effective element list of a transparent run: the test itself
 /// plus a restoring write when its net effect leaves the complement
-/// stored.
-fn transparent_elements(test: &MarchTest) -> Vec<MarchElement> {
+/// stored. Shared with the lane-packed engine ([`crate::lane`]) so both
+/// execute the identical element sequence.
+pub(crate) fn transparent_elements(test: &MarchTest) -> Vec<MarchElement> {
     let mut elements: Vec<MarchElement> = test.elements().to_vec();
     if last_write_is_inverse(test) {
         elements.push(MarchElement::either(&[MarchOp::W0]));

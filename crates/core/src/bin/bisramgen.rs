@@ -20,12 +20,18 @@
 //!           --budget 2048 --timeout-prob 0.1
 //! ```
 
+use bisram_exec::resolve_jobs;
+use bisram_mem::ArrayOrg;
 use bisram_tech::Process;
 use bisramgen::diag::{Transport, TransportFaults};
-use bisramgen::field::{heterogeneous_chip, ChipConfig, ChipModel};
+use bisramgen::field::{
+    heterogeneous_chip, simulate_fleet_golden_jobs, simulate_fleet_jobs, ChipConfig, ChipModel,
+    FieldConfig, SparePolicy,
+};
 use bisramgen::{compile_with, ChipSheet, CompileOptions, RamParams, VerifyMode};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     words: usize,
@@ -94,6 +100,8 @@ OPTIONS:
 SUBCOMMANDS:
   chip-diagnose    diagnose and repair a heterogeneous multi-macro chip over a
                    shared BIST transport; see `bisramgen chip-diagnose --help`
+  fleet            simulate a fleet of device lifetimes on the lane-packed
+                   engine; see `bisramgen fleet --help`
 ";
 
 const CHIP_USAGE: &str = "\
@@ -118,6 +126,37 @@ OPTIONS:
 Prints the per-macro repair report and the chip datasheet section. Exit is
 nonzero only on usage errors: degraded macros (detect-only / quarantined /
 failed) are an expected, explicitly reported outcome, not a tool failure.
+";
+
+const FLEET_USAGE: &str = "\
+bisramgen fleet - simulate a fleet of in-field device lifetimes
+
+USAGE:
+  bisramgen fleet [OPTIONS]
+
+OPTIONS:
+  --lifetimes N     device lifetimes to simulate (default 10000)
+  --seed N          fleet base seed; lifetime i runs from a seed derived
+                    with the shared golden-ratio mix (default 1)
+  --jobs N          worker threads (default: BISRAM_JOBS, then all cores)
+  --engine E        lanes (default) packs 64 lifetimes per machine word;
+                    golden runs the scalar per-trial reference path. Both
+                    produce byte-identical FleetResult tallies.
+  --words N         addressable words (default 1024)
+  --bpw N           bits per word (default 32)
+  --bpc N           bits per column, power of two (default 4)
+  --spares N        spare rows (default 4)
+  --lambda R        per-bit failure rate, failures/hour (default 1e-7)
+  --period H        hours between maintenance sessions (default 10000)
+  --horizon H       simulated service life, hours (default 120000)
+  --retries N       alarm re-screens before hard-fault classification (default 2)
+  --upset-prob P    per-session soft-upset probability (default 0)
+  --policy NAME     pessimistic | opportunistic spare accounting (default
+                    pessimistic)
+  --help            show this text
+
+Prints one `fleet <key>: <value>` line per aggregate tally (grep-friendly),
+then the survival curve on the session grid.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -252,10 +291,147 @@ fn chip_diagnose(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn fleet(args: Vec<String>) -> Result<(), String> {
+    let mut lifetimes = 10_000usize;
+    let mut seed = 1u64;
+    let mut jobs: Option<usize> = None;
+    let mut lanes = true;
+    let mut words = 1024usize;
+    let mut bpw = 32usize;
+    let mut bpc = 4usize;
+    let mut spares = 4usize;
+    let mut lambda = 1.0e-7f64;
+    let mut period = 10_000.0f64;
+    let mut horizon = 120_000.0f64;
+    let mut retries = 2u32;
+    let mut upset_prob = 0.0f64;
+    let mut policy = SparePolicy::Pessimistic;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_hours = |name: &str, v: &str| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|h| h.is_finite() && *h > 0.0)
+                .ok_or_else(|| format!("{name} expects positive hours, got {v:?}"))
+        };
+        match flag.as_str() {
+            "--lifetimes" => lifetimes = parse_num(&value("--lifetimes")?)?,
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("expected a seed, got {v:?}"))?;
+            }
+            "--jobs" => jobs = Some(parse_num(&value("--jobs")?)?),
+            "--engine" => {
+                let v = value("--engine")?;
+                lanes = match v.as_str() {
+                    "lanes" => true,
+                    "golden" => false,
+                    other => {
+                        return Err(format!("--engine expects lanes|golden, got {other:?}"))
+                    }
+                };
+            }
+            "--words" => words = parse_num(&value("--words")?)?,
+            "--bpw" => bpw = parse_num(&value("--bpw")?)?,
+            "--bpc" => bpc = parse_num(&value("--bpc")?)?,
+            "--spares" => spares = parse_num(&value("--spares")?)?,
+            "--lambda" => {
+                let v = value("--lambda")?;
+                lambda = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|l| l.is_finite() && *l >= 0.0)
+                    .ok_or_else(|| format!("--lambda expects a rate >= 0, got {v:?}"))?;
+            }
+            "--period" => period = parse_hours("--period", &value("--period")?)?,
+            "--horizon" => horizon = parse_hours("--horizon", &value("--horizon")?)?,
+            "--retries" => retries = parse_num(&value("--retries")?)? as u32,
+            "--upset-prob" => upset_prob = parse_prob(&value("--upset-prob")?)?,
+            "--policy" => {
+                let v = value("--policy")?;
+                policy = match v.as_str() {
+                    "pessimistic" => SparePolicy::Pessimistic,
+                    "opportunistic" => SparePolicy::Opportunistic,
+                    other => {
+                        return Err(format!(
+                            "--policy expects pessimistic|opportunistic, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                print!("{FLEET_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?} (try fleet --help)")),
+        }
+    }
+    if lifetimes == 0 {
+        return Err("--lifetimes must be at least 1".to_owned());
+    }
+
+    let org = ArrayOrg::new(words, bpw, bpc, spares).map_err(|e| e.to_string())?;
+    let mut config = FieldConfig::new(org, lambda, period, horizon);
+    config.max_retries = retries;
+    config.transient_upset_probability = upset_prob;
+    config.spare_policy = policy;
+
+    let jobs = resolve_jobs(jobs);
+    let engine = if lanes { "lanes" } else { "golden" };
+    eprintln!(
+        "simulating {lifetimes} lifetimes ({engine} engine, {jobs} workers, seed {seed:#x}, \
+         λ={lambda:e}/h, {} sessions over {horizon} h) ...",
+        (horizon / period).floor() as u64
+    );
+    let start = Instant::now();
+    let result = if lanes {
+        simulate_fleet_jobs(&config, lifetimes, seed, jobs)
+    } else {
+        simulate_fleet_golden_jobs(&config, lifetimes, seed, jobs)
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!("fleet engine: {engine}");
+    println!("fleet lifetimes: {}", result.lifetimes);
+    println!("fleet deaths: {}", result.deaths);
+    println!("fleet deaths_spare_fault: {}", result.deaths_spare_fault);
+    println!("fleet deaths_exhausted: {}", result.deaths_exhausted);
+    println!("fleet deaths_persist: {}", result.deaths_persist);
+    println!("fleet sessions_run: {}", result.sessions_run);
+    println!("fleet sessions_skipped: {}", result.sessions_skipped);
+    println!("fleet transients_dismissed: {}", result.transients_dismissed);
+    println!("fleet rows_repaired: {}", result.rows_repaired);
+    println!("fleet mttf_hours: {:.3}", result.mttf_hours);
+    println!("fleet wall_seconds: {elapsed:.3}");
+    println!(
+        "fleet lifetimes_per_second: {:.1}",
+        result.lifetimes as f64 / elapsed.max(f64::MIN_POSITIVE)
+    );
+    println!("survival curve (t_hours  R_hat):");
+    for (t, r) in result
+        .curve
+        .times_hours
+        .iter()
+        .zip(result.curve.survival.iter())
+    {
+        println!("  {t:>12.1}  {r:.6}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("chip-diagnose") {
         return chip_diagnose(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("fleet") {
+        return fleet(raw[1..].to_vec());
     }
     let args = parse_args()?;
     let process = Process::by_name(&args.process)

@@ -30,12 +30,17 @@
 
 mod chip;
 mod fleet;
+mod lane;
 mod sim;
 
 pub use chip::{
     heterogeneous_chip, ChipConfig, ChipModel, ChipRepairReport, MacroReport, MacroSpec,
 };
-pub use fleet::{censored_mttf, simulate_fleet, simulate_fleet_jobs, FleetResult};
+pub use fleet::{
+    censored_mttf, simulate_fleet, simulate_fleet_golden, simulate_fleet_golden_jobs,
+    simulate_fleet_jobs, FleetResult,
+};
+pub use lane::simulate_lifetimes_lane;
 pub use sim::{
     simulate_lifetime, DegradationState, FailureCause, FieldConfig, FieldEvent, LifetimeOutcome,
     SparePolicy,

@@ -222,10 +222,10 @@ impl LifetimeOutcome {
 
 /// One sampled defect arrival.
 #[derive(Debug, Clone, Copy)]
-struct Arrival {
-    time_hours: f64,
-    physical_row: usize,
-    fault: Fault,
+pub(crate) struct Arrival {
+    pub(crate) time_hours: f64,
+    pub(crate) physical_row: usize,
+    pub(crate) fault: Fault,
 }
 
 /// Draws the first defect arrival of every physical row.
@@ -237,7 +237,7 @@ struct Arrival {
 /// index order, so two configs differing only in spare count share the
 /// regular-row fault history (common random numbers — this is what
 /// makes the empirical spare-count crossover crisp).
-fn sample_arrivals(config: &FieldConfig, rng: &mut StdRng) -> Vec<Arrival> {
+pub(crate) fn sample_arrivals(config: &FieldConfig, rng: &mut StdRng) -> Vec<Arrival> {
     let org = config.org;
     let row_rate = config.lambda_per_hour * org.columns() as f64;
     let mut arrivals = Vec::new();

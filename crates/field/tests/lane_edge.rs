@@ -1,0 +1,105 @@
+//! Lane-scheduler edge cases: ragged batches, single-lane batches, and
+//! the all-lanes-dead early exit — each pinned against the golden
+//! scalar path field for field.
+
+use bisram_exec::trial_seed;
+use bisram_field::{
+    simulate_fleet_golden_jobs, simulate_fleet_jobs, simulate_lifetime, simulate_lifetimes_lane,
+    FieldConfig, SparePolicy,
+};
+use bisram_mem::ArrayOrg;
+
+fn config(spares: usize) -> FieldConfig {
+    let org = ArrayOrg::new(32, 2, 2, spares).expect("valid test geometry");
+    FieldConfig::new(org, 9.0e-7, 10_000.0, 120_000.0)
+}
+
+/// The golden outcome with the event log stripped — the lane engine
+/// matches every other field but does not materialize events.
+fn golden_sans_events(cfg: &FieldConfig, seed: u64) -> bisram_field::LifetimeOutcome {
+    let mut out = simulate_lifetime(cfg, seed);
+    out.events.clear();
+    out
+}
+
+#[test]
+fn single_lane_batch_equals_simulate_lifetime_exactly() {
+    let cfg = config(4);
+    for seed in [0u64, 1, 0xF1EE7, 0xDEAD_BEEF] {
+        let lane = simulate_lifetimes_lane(&cfg, &[seed]);
+        assert_eq!(lane.len(), 1);
+        assert_eq!(lane[0], golden_sans_events(&cfg, seed), "seed {seed:#x}");
+        assert!(lane[0].events.is_empty(), "lane outcomes carry no events");
+    }
+}
+
+#[test]
+fn ragged_batches_match_the_golden_path_per_lifetime() {
+    // Batch sizes straddling and inside the lane width; heavier pressure
+    // so deaths, repairs and degradations all appear in the comparison.
+    let mut cfg = config(2);
+    cfg.lambda_per_hour = 2.0e-6;
+    for n in [2usize, 3, 63, 64] {
+        let seeds: Vec<u64> = (0..n).map(|i| trial_seed(0xBA7C4, i)).collect();
+        let outs = simulate_lifetimes_lane(&cfg, &seeds);
+        assert_eq!(outs.len(), n);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(
+                *out,
+                golden_sans_events(&cfg, seeds[i]),
+                "batch of {n}, lifetime {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_sizes_not_divisible_by_lane_width_stay_byte_identical() {
+    let mut cfg = config(3);
+    cfg.lambda_per_hour = 2.0e-6;
+    for lifetimes in [1usize, 65, 127] {
+        let lane = simulate_fleet_jobs(&cfg, lifetimes, 0x0DD, 2);
+        let golden = simulate_fleet_golden_jobs(&cfg, lifetimes, 0x0DD, 2);
+        assert_eq!(lane, golden, "{lifetimes} lifetimes");
+        assert_eq!(lane.lifetimes, lifetimes);
+    }
+}
+
+#[test]
+fn all_lanes_dead_early_exit_is_invisible_in_the_results() {
+    // Pressure so extreme every device dies fatally within the first few
+    // sessions (pessimistic policy, one spare): the scheduler's early
+    // exit must change nothing observable.
+    let mut cfg = config(1);
+    cfg.lambda_per_hour = 5.0e-5; // F(horizon) ≈ 1
+    cfg.spare_policy = SparePolicy::Pessimistic;
+    let seeds: Vec<u64> = (0..64).map(|i| trial_seed(0xDEAD, i)).collect();
+    let outs = simulate_lifetimes_lane(&cfg, &seeds);
+    assert!(
+        outs.iter().all(|o| o.failure_time_hours.is_some()),
+        "this pressure must kill every lane"
+    );
+    // Every death is strictly before the horizon (the early exit kicked
+    // in with sessions to spare) and each outcome still matches golden.
+    assert!(outs
+        .iter()
+        .all(|o| o.failure_time_hours.expect("dead") < cfg.horizon_hours));
+    for (i, out) in outs.iter().enumerate() {
+        assert_eq!(*out, golden_sans_events(&cfg, seeds[i]), "lifetime {i}");
+    }
+}
+
+#[test]
+fn upset_draws_stay_aligned_in_ragged_batches() {
+    // Soft upsets draw from the RNG every session a lane is alive —
+    // retirement of other lanes in the batch must not shift any stream.
+    let mut cfg = config(2);
+    cfg.lambda_per_hour = 4.0e-6;
+    cfg.transient_upset_probability = 0.3;
+    cfg.spare_policy = SparePolicy::Opportunistic;
+    let seeds: Vec<u64> = (0..17).map(|i| trial_seed(0x50F7, i)).collect();
+    let outs = simulate_lifetimes_lane(&cfg, &seeds);
+    for (i, out) in outs.iter().enumerate() {
+        assert_eq!(*out, golden_sans_events(&cfg, seeds[i]), "lifetime {i}");
+    }
+}

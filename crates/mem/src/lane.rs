@@ -1,0 +1,326 @@
+//! Lane-packed struct-of-arrays cell state: 64 device instances per word.
+//!
+//! The behavioural [`crate::SramModel`] simulates one device; a fleet
+//! lifetime study needs millions. Emulation-style batched execution
+//! (ROADMAP item 4) packs 64 *independent* instances of the same array
+//! geometry into one structure: bit `l` of every `u64` belongs to lane
+//! (device) `l`, so one array walk advances all 64 devices in lockstep.
+//!
+//! The packed model deliberately supports only the fault population an
+//! in-field lifetime produces — per-cell stuck-at faults, at most one per
+//! cell (`bisram-field` draws one first-hit arrival per physical row).
+//! Under that restriction a cell's behaviour closes over three lane
+//! masks:
+//!
+//! * `cells` — the stored bit per lane,
+//! * `stuck_mask` — lanes in which the cell is stuck,
+//! * `stuck_val` — the stuck value for those lanes.
+//!
+//! A stuck cell invariantly holds its stuck value in `cells` (injection
+//! corrupts it, and every write blends through `!stuck_mask`), so a
+//! packed read is a single array load and a packed masked write is three
+//! bitwise operations — per 64 devices. The scalar model's richer
+//! machinery (coupling propagation, stuck-open sense-amp echo, row
+//! decoder faults, retention decay) is exactly the part an in-field
+//! arrival stream never exercises, which is what makes the packed model
+//! bit-exact against the golden path rather than an approximation.
+
+use crate::org::{ArrayOrg, CellIndex};
+
+/// Number of device instances advanced per packed word.
+pub const LANE_WIDTH: usize = 64;
+
+/// A full lane mask: every lane selected.
+pub const ALL_LANES: u64 = u64::MAX;
+
+/// Builds the lane mask selecting lanes `0..n` (saturating at 64).
+///
+/// ```
+/// use bisram_mem::lane::lane_mask;
+/// assert_eq!(lane_mask(0), 0);
+/// assert_eq!(lane_mask(3), 0b111);
+/// assert_eq!(lane_mask(64), u64::MAX);
+/// ```
+pub fn lane_mask(n: usize) -> u64 {
+    if n >= LANE_WIDTH {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// 64 independent SRAM instances of one geometry, packed one lane per
+/// bit position.
+///
+/// All vectors are indexed by [`CellIndex`] over the *total* array
+/// (regular rows plus spares), the same row-major numbering as
+/// [`ArrayOrg::cell_at`].
+#[derive(Debug, Clone)]
+pub struct LaneSram {
+    org: ArrayOrg,
+    /// Stored bit per cell per lane.
+    cells: Vec<u64>,
+    /// Lanes in which the cell carries a stuck-at fault.
+    stuck_mask: Vec<u64>,
+    /// Stuck value per lane (meaningful only where `stuck_mask` is set).
+    stuck_val: Vec<u64>,
+}
+
+impl LaneSram {
+    /// 64 fault-free instances with all cells zero (the same reset state
+    /// as [`crate::SramModel::new`]).
+    pub fn new(org: ArrayOrg) -> Self {
+        let n = org.total_cells();
+        LaneSram {
+            org,
+            cells: vec![0; n],
+            stuck_mask: vec![0; n],
+            stuck_val: vec![0; n],
+        }
+    }
+
+    /// The shared array organization.
+    pub fn org(&self) -> &ArrayOrg {
+        &self.org
+    }
+
+    /// Packed read of one cell: bit `l` is lane `l`'s stored value.
+    ///
+    /// Stuck cells already hold their stuck value (see the module-level
+    /// invariant), so no per-read fault lookup is needed — this is the
+    /// load that makes the packed engine fast.
+    #[inline]
+    pub fn read_bit(&self, cell: CellIndex) -> u64 {
+        self.cells[cell]
+    }
+
+    /// Packed masked write of one cell: lane `l` stores bit `l` of
+    /// `values` when selected by `lanes`, unless the cell is stuck in
+    /// that lane (stuck cells ignore writes, as in the scalar model's
+    /// `effective_stored`).
+    #[inline]
+    pub fn write_bit(&mut self, cell: CellIndex, values: u64, lanes: u64) {
+        let wm = lanes & !self.stuck_mask[cell];
+        self.cells[cell] = (self.cells[cell] & !wm) | (values & wm);
+    }
+
+    /// Injects a stuck-at fault at `cell` in the selected lanes, with the
+    /// per-lane stuck value given by `values`. The cell immediately
+    /// assumes its stuck value in those lanes (activation is the moment
+    /// of data loss, exactly as [`crate::SramModel::inject`]).
+    pub fn inject_stuck(&mut self, cell: CellIndex, values: u64, lanes: u64) {
+        assert!(cell < self.org.total_cells(), "victim cell out of range");
+        self.stuck_mask[cell] |= lanes;
+        self.stuck_val[cell] = (self.stuck_val[cell] & !lanes) | (values & lanes);
+        self.cells[cell] = (self.cells[cell] & !lanes) | (values & lanes);
+    }
+
+    /// Lanes in which `cell` is stuck.
+    #[inline]
+    pub fn stuck_lanes(&self, cell: CellIndex) -> u64 {
+        self.stuck_mask[cell]
+    }
+
+    /// Writes the same `bpw`-bit word into every lane at a physical
+    /// `(row, col)` position — how lane batches load their (lane-uniform)
+    /// initial user data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    pub fn write_word_uniform(&mut self, row: usize, col: usize, word: u64) {
+        for bit in 0..self.org.bpw() {
+            let cell = self.org.cell_at(row, col, bit);
+            // Words wider than 64 bits zero-fill beyond the u64 payload.
+            let v = if bit < 64 && word >> bit & 1 == 1 {
+                ALL_LANES
+            } else {
+                0
+            };
+            self.write_bit(cell, v, ALL_LANES);
+        }
+    }
+
+    /// Copies one physical row into another for a single lane — the
+    /// packed counterpart of the word-by-word data migration
+    /// `incremental_repair` performs when it captures a faulty row onto a
+    /// spare. Source bits are read as stored (dead cells copy their stuck
+    /// value — a repair cannot resurrect lost data), destination cells
+    /// that are themselves stuck keep their stuck value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either row is out of range.
+    pub fn copy_row_lane(&mut self, src_row: usize, dst_row: usize, lane_bit: u64) {
+        for col in 0..self.org.bpc() {
+            for bit in 0..self.org.bpw() {
+                let src = self.org.cell_at(src_row, col, bit);
+                let dst = self.org.cell_at(dst_row, col, bit);
+                let v = self.cells[src];
+                self.write_bit(dst, v, lane_bit);
+            }
+        }
+    }
+
+    /// Extracts lane `l`'s `bpw`-bit word at a physical position, for
+    /// tests and cross-checks against the scalar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates or `lane >= 64`.
+    pub fn word_of_lane(&self, row: usize, col: usize, lane: usize) -> u64 {
+        assert!(lane < LANE_WIDTH, "lane out of range");
+        let mut w = 0u64;
+        for bit in 0..self.org.bpw().min(64) {
+            let cell = self.org.cell_at(row, col, bit);
+            w |= (self.cells[cell] >> lane & 1) << bit;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramModel;
+    use crate::word::Word;
+    use crate::{Fault, FaultKind};
+    use bisram_rng::rngs::StdRng;
+    use bisram_rng::{Rng, SeedableRng};
+
+    fn org() -> ArrayOrg {
+        ArrayOrg::new(32, 4, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn lane_mask_edges() {
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(100), u64::MAX);
+    }
+
+    #[test]
+    fn uniform_write_and_per_lane_read_agree() {
+        let mut ls = LaneSram::new(org());
+        ls.write_word_uniform(3, 1, 0b1010);
+        for lane in [0, 17, 63] {
+            assert_eq!(ls.word_of_lane(3, 1, lane), 0b1010);
+        }
+        // Other positions untouched.
+        assert_eq!(ls.word_of_lane(3, 0, 5), 0);
+    }
+
+    #[test]
+    fn masked_write_only_touches_selected_unstuck_lanes() {
+        let mut ls = LaneSram::new(org());
+        let cell = ls.org().cell_at(0, 0, 0);
+        ls.inject_stuck(cell, 0, 1 << 5); // lane 5 stuck at 0
+        ls.write_bit(cell, ALL_LANES, (1 << 5) | (1 << 6));
+        // Lane 6 took the write, lane 5 is pinned, lane 7 unselected.
+        assert_eq!(ls.read_bit(cell) >> 5 & 1, 0);
+        assert_eq!(ls.read_bit(cell) >> 6 & 1, 1);
+        assert_eq!(ls.read_bit(cell) >> 7 & 1, 0);
+    }
+
+    #[test]
+    fn injection_corrupts_immediately_and_reports_stuck_lanes() {
+        let mut ls = LaneSram::new(org());
+        let cell = ls.org().cell_at(2, 1, 3);
+        ls.write_bit(cell, ALL_LANES, ALL_LANES);
+        ls.inject_stuck(cell, 0, 1 << 9); // stuck-at-0 in lane 9
+        assert_eq!(ls.read_bit(cell) >> 9 & 1, 0, "activation is data loss");
+        assert_eq!(ls.read_bit(cell) >> 8 & 1, 1, "other lanes keep data");
+        assert_eq!(ls.stuck_lanes(cell), 1 << 9);
+    }
+
+    #[test]
+    fn copy_row_lane_migrates_one_lane_only() {
+        let mut ls = LaneSram::new(org());
+        ls.write_word_uniform(4, 0, 0b0110);
+        let spare = ls.org().rows(); // first spare row
+        ls.copy_row_lane(4, spare, 1 << 3);
+        assert_eq!(ls.word_of_lane(spare, 0, 3), 0b0110);
+        assert_eq!(ls.word_of_lane(spare, 0, 2), 0, "lane 2 spare untouched");
+    }
+
+    #[test]
+    fn packed_semantics_match_scalar_model_under_stuck_at_faults() {
+        // Random interleaving of writes and stuck-at injections, applied
+        // to one scalar model per lane and to the packed model at once:
+        // every read must agree bit for bit. This is the foundation of
+        // the lane engine's byte-identity contract.
+        let o = org();
+        let mut rng = StdRng::seed_from_u64(0x1A9E_0001);
+        let mut packed = LaneSram::new(o);
+        let mut scalars: Vec<SramModel> = (0..LANE_WIDTH).map(|_| SramModel::new(o)).collect();
+        for _step in 0..400 {
+            let row = rng.gen_range(0..o.total_rows());
+            let col = rng.gen_range(0..o.bpc());
+            let bit = rng.gen_range(0..o.bpw());
+            let cell = o.cell_at(row, col, bit);
+            if rng.gen_bool(0.1) && packed.stuck_lanes(cell) == 0 {
+                // Inject the same stuck-at into a random subset of lanes
+                // (each cell at most once, the in-field restriction).
+                let lanes = rng.gen::<u64>();
+                let v = rng.gen_bool(0.5);
+                packed.inject_stuck(cell, if v { ALL_LANES } else { 0 }, lanes);
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    if lanes >> l & 1 == 1 {
+                        s.inject(Fault::new(cell, FaultKind::StuckAt(v)));
+                    }
+                }
+            } else {
+                // Masked packed write vs per-lane scalar word writes.
+                let values = rng.gen::<u64>();
+                let lanes = rng.gen::<u64>();
+                packed.write_bit(cell, values, lanes);
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    if lanes >> l & 1 == 1 {
+                        let mut w = s.read_word_at(row, col);
+                        w.set(bit, values >> l & 1 == 1);
+                        s.write_word_at(row, col, w);
+                    }
+                }
+            }
+        }
+        for row in 0..o.total_rows() {
+            for col in 0..o.bpc() {
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    let want = s.read_word_at(row, col);
+                    let got = packed.word_of_lane(row, col, l);
+                    assert_eq!(
+                        got,
+                        want.to_u64(),
+                        "lane {l} diverged at row {row} col {col}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "victim cell out of range")]
+    fn inject_rejects_bad_cell() {
+        let mut ls = LaneSram::new(org());
+        let n = ls.org().total_cells();
+        ls.inject_stuck(n, 0, 1);
+    }
+
+    #[test]
+    fn uniform_word_roundtrip() {
+        let o = ArrayOrg::new(16, 8, 2, 0).unwrap();
+        let mut ls = LaneSram::new(o);
+        for addr in 0..o.words() {
+            let (r, c) = o.split(addr);
+            ls.write_word_uniform(r, c, addr as u64 & 0xFF);
+        }
+        let mut scalar = SramModel::new(o);
+        for addr in 0..o.words() {
+            scalar.write_word(addr, Word::from_u64(addr as u64 & 0xFF, o.bpw()));
+        }
+        for addr in 0..o.words() {
+            let (r, c) = o.split(addr);
+            assert_eq!(ls.word_of_lane(r, c, 11), scalar.read_word(addr).to_u64());
+        }
+    }
+}

@@ -36,12 +36,14 @@
 
 mod fault;
 mod inject;
+pub mod lane;
 mod org;
 mod sram;
 mod word;
 
 pub use fault::{Fault, FaultClass, FaultKind, RowFault};
 pub use inject::{column_failure, random_faults, row_failure, FaultMix};
+pub use lane::{lane_mask, LaneSram, ALL_LANES, LANE_WIDTH};
 pub use org::{ArrayOrg, CellIndex, OrgError};
 pub use sram::{AccessStats, SramModel};
 pub use word::Word;

@@ -9,16 +9,11 @@
 
 use bisram_bist::engine::{BackgroundSchedule, MarchConfig};
 use bisram_bist::march;
-use bisram_exec::run_chunked;
+use bisram_exec::{run_chunked, trial_seed, TRIAL_CHUNK};
 use bisram_mem::{random_faults, ArrayOrg, FaultMix, SramModel};
 use bisram_repair::flow::{self, RepairSetup};
 use bisram_rng::rngs::StdRng;
 use bisram_rng::{Rng, SeedableRng};
-
-/// Trials per executor task of the seeded parallel engine. Fixed (never
-/// derived from the job count) so the partial tallies always merge in
-/// the same order.
-const TRIAL_CHUNK: usize = 16;
 
 /// Draws a Poisson random variate with the given mean (Knuth's method
 /// for small means, normal approximation above 64).
@@ -169,8 +164,10 @@ pub fn simulate_yield_seeded(
             unrepairable: 0,
         };
         for i in range {
-            let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut rng = StdRng::seed_from_u64(seed);
+            // The workspace-wide index-seeded scheme; moving from a
+            // local chunk size to the shared one regroups the integer
+            // partials but cannot change their in-order sum.
+            let mut rng = StdRng::seed_from_u64(trial_seed(base_seed, i));
             run_trial(&mut rng, org, mean_defects, clustering, &setup, &mut tally);
         }
         tally

@@ -14,7 +14,10 @@ use bisram_rng::SeedableRng;
 use bisram_tech::Process;
 use bisram_yield::montecarlo::{self, MonteCarloYield};
 use bisramgen::diag::{Transport, TransportFaults};
-use bisramgen::field::{heterogeneous_chip, ChipConfig, ChipModel};
+use bisramgen::field::{
+    heterogeneous_chip, simulate_fleet_golden_jobs, simulate_fleet_jobs, ChipConfig, ChipModel,
+    FieldConfig,
+};
 use bisramgen::{compile_with, ChipSheet, CompileOptions, CompiledRam, RamParams, VerifyMode};
 
 /// The four byte-exact textual outputs the cache-transparency contract
@@ -319,6 +322,38 @@ fn chip_repair_report_is_byte_identical_across_workers_and_reruns() {
         reference.macros.iter().any(|m| m.transport_attempts > 1),
         "transport noise never fired — test lost its teeth"
     );
+}
+
+#[test]
+fn lane_packed_fleet_is_byte_identical_to_golden_at_every_worker_count() {
+    // The lane-packed engine (64 lifetimes per u64 word walk) and the
+    // golden per-trial engine must produce byte-identical `FleetResult`s
+    // for every worker count and for fleet sizes straddling the lane
+    // width. `FleetResult::eq` compares floats via `to_bits`, so this is
+    // bit-exactness, not approximate agreement.
+    let org = ArrayOrg::new(32, 2, 2, 3).expect("valid organization");
+    let mut cfg = FieldConfig::new(org, 2.0e-6, 10_000.0, 120_000.0);
+    cfg.transient_upset_probability = 0.05;
+    for lifetimes in [63usize, 64, 65, 130] {
+        let reference = simulate_fleet_golden_jobs(&cfg, lifetimes, 0xF1EE7, 1);
+        for jobs in [1usize, 2, 8] {
+            let lane = simulate_fleet_jobs(&cfg, lifetimes, 0xF1EE7, jobs);
+            assert_eq!(
+                lane, reference,
+                "lifetimes={lifetimes} jobs={jobs}: lane engine diverged from golden"
+            );
+            let golden = simulate_fleet_golden_jobs(&cfg, lifetimes, 0xF1EE7, jobs);
+            assert_eq!(
+                golden, reference,
+                "lifetimes={lifetimes} jobs={jobs}: golden engine depends on worker count"
+            );
+        }
+        // The run exercised real machinery, not a trivially immortal fleet.
+        assert!(
+            reference.deaths > 0,
+            "lifetimes={lifetimes}: no deaths — test lost its teeth"
+        );
+    }
 }
 
 #[test]
