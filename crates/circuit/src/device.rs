@@ -50,11 +50,41 @@ pub fn mos_id(
     w: f64,
     l: f64,
 ) -> f64 {
+    mos_id_dvt(dev, mos_type, vd, vg, vs, w, l, 0.0)
+}
+
+/// [`mos_id`] with a per-device threshold offset `dvt` (V) added to the
+/// process threshold magnitude — the SPICE-`DELVTO` handle the variation
+/// engine uses to model local mismatch. `dvt = 0.0` is bit-identical to
+/// the nominal path (`vt + 0.0` preserves every bit of `vt`).
+#[allow(clippy::too_many_arguments)]
+pub fn mos_id_dvt(
+    dev: &DeviceParams,
+    mos_type: MosType,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    w: f64,
+    l: f64,
+    dvt: f64,
+) -> f64 {
     match mos_type {
-        MosType::Nmos => level1_nmos_id(vd, vg, vs, dev.kp_n * w / l, dev.vtn, dev.channel_lambda),
-        MosType::Pmos => {
-            -level1_nmos_id(-vd, -vg, -vs, dev.kp_p * w / l, dev.vtp, dev.channel_lambda)
-        }
+        MosType::Nmos => level1_nmos_id(
+            vd,
+            vg,
+            vs,
+            dev.kp_n * w / l,
+            dev.vtn + dvt,
+            dev.channel_lambda,
+        ),
+        MosType::Pmos => -level1_nmos_id(
+            -vd,
+            -vg,
+            -vs,
+            dev.kp_p * w / l,
+            dev.vtp + dvt,
+            dev.channel_lambda,
+        ),
     }
 }
 
@@ -70,7 +100,23 @@ pub fn mos_linearized(
     w: f64,
     l: f64,
 ) -> (f64, f64, f64, f64) {
-    let f = |vd: f64, vg: f64, vs: f64| mos_id(dev, mos_type, vd, vg, vs, w, l);
+    mos_linearized_dvt(dev, mos_type, vd, vg, vs, w, l, 0.0)
+}
+
+/// [`mos_linearized`] with the per-device threshold offset threaded
+/// through to the current evaluation.
+#[allow(clippy::too_many_arguments)]
+pub fn mos_linearized_dvt(
+    dev: &DeviceParams,
+    mos_type: MosType,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    w: f64,
+    l: f64,
+    dvt: f64,
+) -> (f64, f64, f64, f64) {
+    let f = |vd: f64, vg: f64, vs: f64| mos_id_dvt(dev, mos_type, vd, vg, vs, w, l, dvt);
     let h = 1e-5;
     let i0 = f(vd, vg, vs);
     let gd = (f(vd + h, vg, vs) - f(vd - h, vg, vs)) / (2.0 * h);
@@ -144,6 +190,31 @@ mod tests {
         // Cutoff when the gate sits at the source.
         let off = mos_id(&d, MosType::Pmos, 0.0, d.vdd, d.vdd, w, l);
         assert_eq!(off, 0.0);
+    }
+
+    /// A per-device threshold offset must be bit-identical to baking the
+    /// same offset into the process `DeviceParams` — the contract the
+    /// variation engine's zero-variation pin rests on.
+    #[test]
+    fn dvt_offset_matches_modified_process_params() {
+        let d = Process::cda05().devices().clone();
+        let (w, l) = (1.5e-6, 0.5e-6);
+        let dvt = 0.042;
+        let mut shifted = d.clone();
+        shifted.vtn += dvt;
+        shifted.vtp += dvt;
+        for i in 0..=8 {
+            let v = i as f64 * d.vdd / 8.0;
+            for ty in [MosType::Nmos, MosType::Pmos] {
+                let a = mos_id_dvt(&d, ty, v, d.vdd - v, 0.3, w, l, dvt);
+                let b = mos_id(&shifted, ty, v, d.vdd - v, 0.3, w, l);
+                assert_eq!(a.to_bits(), b.to_bits(), "ty={ty:?} v={v}");
+                // And dvt = 0 is exactly the nominal path.
+                let n0 = mos_id_dvt(&d, ty, v, d.vdd - v, 0.3, w, l, 0.0);
+                let n = mos_id(&d, ty, v, d.vdd - v, 0.3, w, l);
+                assert_eq!(n0.to_bits(), n.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub mod netlist;
 pub mod sizing;
 pub mod snm;
 pub mod tran;
+pub mod variation;
 
 pub use netlist::{DeviceKind, MosType, Netlist, NodeId};
 pub use tran::{AdaptiveOptions, SimError, SolverStats, TranResult, TransientSim};
+pub use variation::{OpCorner, VariationModel, VariedCell, VAR_DIM};

@@ -81,6 +81,10 @@ pub enum DeviceKind {
         w: f64,
         /// Channel length (m).
         l: f64,
+        /// Per-device threshold-voltage offset (V) added to the process
+        /// `vtn`/`vtp` magnitude — the local-mismatch handle of the
+        /// variation engine (SPICE `DELVTO`). Zero for nominal devices.
+        dvt: f64,
     },
 }
 
@@ -209,7 +213,25 @@ impl Netlist {
         w: f64,
         l: f64,
     ) -> usize {
+        self.mos_dvt(mos_type, d, g, s, w, l, 0.0)
+    }
+
+    /// Adds a MOS transistor with a per-device threshold offset `dvt`
+    /// (V, added to the process threshold magnitude) — the entry point
+    /// the variation-aware trial kernels use to model local mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mos_dvt(
+        &mut self,
+        mos_type: MosType,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+        l: f64,
+        dvt: f64,
+    ) -> usize {
         assert!(w > 0.0 && l > 0.0, "device dimensions must be positive");
+        assert!(dvt.is_finite(), "threshold offset must be finite");
         self.push(DeviceKind::Mos {
             mos_type,
             d,
@@ -217,6 +239,7 @@ impl Netlist {
             s,
             w,
             l,
+            dvt,
         })
     }
 
@@ -300,15 +323,21 @@ impl Netlist {
                     s,
                     w,
                     l,
+                    dvt,
                 } => {
                     m += 1;
                     let (model, bulk) = match mos_type {
                         MosType::Nmos => ("NMOS", "0"),
                         MosType::Pmos => ("PMOS", "vdd!"),
                     };
+                    let delvto = if *dvt != 0.0 {
+                        format!(" DELVTO={dvt:.6e}")
+                    } else {
+                        String::new()
+                    };
                     let _ = writeln!(
                         out,
-                        "M{m} {} {} {} {bulk} {model} W={w:.6e} L={l:.6e}",
+                        "M{m} {} {} {} {bulk} {model} W={w:.6e} L={l:.6e}{delvto}",
                         self.node_name(*d),
                         self.node_name(*g),
                         self.node_name(*s)

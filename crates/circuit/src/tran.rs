@@ -239,6 +239,7 @@ struct MosStamp {
     gi: Option<usize>,
     w: f64,
     l: f64,
+    dvt: f64,
 }
 
 /// Pre-resolved independent source.
@@ -553,6 +554,7 @@ impl<'a> TransientSim<'a> {
                     s,
                     w,
                     l,
+                    dvt,
                 } => {
                     mos.push(MosStamp {
                         mos_type: *mos_type,
@@ -564,6 +566,7 @@ impl<'a> TransientSim<'a> {
                         si: idx(*s),
                         w: *w,
                         l: *l,
+                        dvt: *dvt,
                     });
                 }
             }
@@ -648,7 +651,9 @@ impl<'a> TransientSim<'a> {
             *fi = acc;
         }
         for ms in &st.mos {
-            let i0 = device::mos_id(self.dev, ms.mos_type, x[ms.d], x[ms.g], x[ms.s], ms.w, ms.l);
+            let i0 = device::mos_id_dvt(
+                self.dev, ms.mos_type, x[ms.d], x[ms.g], x[ms.s], ms.w, ms.l, ms.dvt,
+            );
             if let Some(di) = ms.di {
                 f[di] += i0;
             }
@@ -665,8 +670,8 @@ impl<'a> TransientSim<'a> {
         let n = st.n;
         j.copy_from_slice(m);
         for ms in &st.mos {
-            let (_, gd, gg, gs) = device::mos_linearized(
-                self.dev, ms.mos_type, x[ms.d], x[ms.g], x[ms.s], ms.w, ms.l,
+            let (_, gd, gg, gs) = device::mos_linearized_dvt(
+                self.dev, ms.mos_type, x[ms.d], x[ms.g], x[ms.s], ms.w, ms.l, ms.dvt,
             );
             if let Some(di) = ms.di {
                 j[di * n + di] += gd;
@@ -854,12 +859,13 @@ impl<'a> TransientSim<'a> {
                     s,
                     w,
                     l,
+                    dvt,
                 } => {
                     let vd = x[d.index()];
                     let vg = x[g.index()];
                     let vs = x[s.index()];
                     let (i0, gd, gg, gs) =
-                        device::mos_linearized(self.dev, *mos_type, vd, vg, vs, *w, *l);
+                        device::mos_linearized_dvt(self.dev, *mos_type, vd, vg, vs, *w, *l, *dvt);
                     // i flows from drain node into source node:
                     // i ≈ i0 + gd·Δvd + gg·Δvg + gs·Δvs, already expanded
                     // around the iterate, so the rhs carries the residue.

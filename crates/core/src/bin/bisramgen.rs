@@ -23,6 +23,9 @@
 use bisram_exec::resolve_jobs;
 use bisram_mem::ArrayOrg;
 use bisram_tech::Process;
+use bisram_yield::montecarlo::simulate_yield_seeded;
+use bisram_yield::optimize::optimize_spares_measured;
+use bisram_yield::rare::{agreement_sigma, RareEngine, TrialKernel};
 use bisramgen::diag::{Transport, TransportFaults};
 use bisramgen::field::{
     heterogeneous_chip, simulate_fleet_golden_jobs, simulate_fleet_jobs, ChipConfig, ChipModel,
@@ -102,6 +105,9 @@ SUBCOMMANDS:
                    shared BIST transport; see `bisramgen chip-diagnose --help`
   fleet            simulate a fleet of device lifetimes on the lane-packed
                    engine; see `bisramgen fleet --help`
+  rare-yield       estimate a bitcell tail failure probability by importance
+                   sampling and feed it into the spare-count economics; see
+                   `bisramgen rare-yield --help`
 ";
 
 const CHIP_USAGE: &str = "\
@@ -157,6 +163,43 @@ OPTIONS:
 
 Prints one `fleet <key>: <value>` line per aggregate tally (grep-friendly),
 then the survival curve on the session grid.
+";
+
+const RARE_USAGE: &str = "\
+bisramgen rare-yield - rare-event bitcell failure estimation and spare economics
+
+USAGE:
+  bisramgen rare-yield [OPTIONS]
+
+OPTIONS:
+  --process NAME   CDA.5u3m1p | mos.6u3m1pHP | CDA.7u3m1p (default CDA.7u3m1p)
+  --kernel K       write-margin (default) | read-snm | hold-snm | read-delay
+  --target-p P     calibrate the failure threshold at this tail probability
+                   under a Gaussian pilot approximation; the margin tail is
+                   left-skewed, so the measured p lands above the target
+                   (default 1e-6)
+  --threshold V    explicit metric threshold in volts (read-delay: negated
+                   seconds); overrides --target-p
+  --trials N       importance-sampling trials (default 2000)
+  --mc-trials N    exhaustive plain-MC trials for cross-validation; 0 skips
+                   the crossval (default 0); nonzero prints the agreement in
+                   combined sigmas and a `rare crossval: PASS|FAIL` marker
+  --pilot N        pilot trials for threshold calibration and the blockade
+                   surrogate (default 400)
+  --safety S       blockade guard band in residual sigmas (default 3)
+  --seed N         base seed; per-trial streams derive from it (default 1)
+  --jobs N         worker threads (default: BISRAM_JOBS, then all cores)
+  --words N        spare-sweep array words (default 4096)
+  --bpw N          spare-sweep bits per word (default 4)
+  --bpc N          spare-sweep bits per column (default 4)
+  --max-spares N   spare-sweep upper bound (default 16)
+  --help           show this text
+
+Prints one `rare <key>: <value>` line per result (grep-friendly). The
+measured per-cell failure probability is fed into the spare-count cost
+optimizer, and the chosen organization is re-checked by the end-to-end
+defect-pattern Monte Carlo with its Wilson interval. Exits nonzero on a
+crossval FAIL or usage errors. Every line is byte-identical at any --jobs.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -425,6 +468,183 @@ fn fleet(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn rare_yield(args: Vec<String>) -> Result<(), String> {
+    let mut process_name = "CDA.7u3m1p".to_owned();
+    let mut kernel = TrialKernel::WriteMargin;
+    let mut target_p = 1e-6f64;
+    let mut threshold: Option<f64> = None;
+    let mut trials = 2000usize;
+    let mut mc_trials = 0usize;
+    let mut pilot = 400usize;
+    let mut safety = 3.0f64;
+    let mut seed = 1u64;
+    let mut jobs: Option<usize> = None;
+    let mut words = 4096usize;
+    let mut bpw = 4usize;
+    let mut bpc = 4usize;
+    let mut max_spares = 16usize;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_f64 = |name: &str, v: &str| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("{name} expects a finite number, got {v:?}"))
+        };
+        match flag.as_str() {
+            "--process" => process_name = value("--process")?,
+            "--kernel" => {
+                let v = value("--kernel")?;
+                kernel = TrialKernel::by_name(&v).ok_or_else(|| {
+                    format!(
+                        "--kernel expects write-margin|read-snm|hold-snm|read-delay, got {v:?}"
+                    )
+                })?;
+            }
+            "--target-p" => {
+                let p = parse_f64("--target-p", &value("--target-p")?)?;
+                if !(p > 0.0 && p < 1.0) {
+                    return Err(format!("--target-p {p} outside (0, 1)"));
+                }
+                target_p = p;
+            }
+            "--threshold" => threshold = Some(parse_f64("--threshold", &value("--threshold")?)?),
+            "--trials" => trials = parse_num(&value("--trials")?)?,
+            "--mc-trials" => mc_trials = parse_num(&value("--mc-trials")?)?,
+            "--pilot" => pilot = parse_num(&value("--pilot")?)?,
+            "--safety" => safety = parse_f64("--safety", &value("--safety")?)?,
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("expected a seed, got {v:?}"))?;
+            }
+            "--jobs" => jobs = Some(parse_num(&value("--jobs")?)?),
+            "--words" => words = parse_num(&value("--words")?)?,
+            "--bpw" => bpw = parse_num(&value("--bpw")?)?,
+            "--bpc" => bpc = parse_num(&value("--bpc")?)?,
+            "--max-spares" => max_spares = parse_num(&value("--max-spares")?)?,
+            "--help" | "-h" => {
+                print!("{RARE_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?} (try rare-yield --help)")),
+        }
+    }
+    if trials < 2 {
+        return Err("--trials must be at least 2".to_owned());
+    }
+    if pilot < 8 {
+        return Err("--pilot must be at least 8".to_owned());
+    }
+
+    let process = Process::by_name(&process_name).ok_or_else(|| {
+        format!("unknown process {process_name:?}; built-ins: CDA.5u3m1p, mos.6u3m1pHP, CDA.7u3m1p")
+    })?;
+    let jobs = resolve_jobs(jobs);
+
+    let mut engine = RareEngine::for_process(&process, kernel, 0.0);
+    let (pilot_mean, pilot_std) = engine.metric_stats(seed, pilot, jobs);
+    engine.threshold = match threshold {
+        Some(t) => t,
+        None => engine.calibrate_threshold(seed, pilot, target_p, jobs),
+    };
+
+    println!("rare process: {process_name}");
+    println!("rare kernel: {}", kernel.name());
+    println!("rare pilot_trials: {pilot}");
+    println!("rare pilot_mean: {pilot_mean:.6e}");
+    println!("rare pilot_std: {pilot_std:.6e}");
+    println!("rare threshold: {:.6e}", engine.threshold);
+
+    eprintln!(
+        "rare-yield: {} importance-sampling trials on {} ({} workers) ...",
+        trials,
+        kernel.name(),
+        jobs
+    );
+    let start = Instant::now();
+    let shifts = engine.find_shifts();
+    println!("rare modes: {}", shifts.len());
+    for (i, s) in shifts.iter().enumerate() {
+        let norm: f64 = s.iter().map(|x| x * x).sum::<f64>().sqrt();
+        println!("rare shift{i}_norm: {norm:.4}");
+    }
+    let is = engine.run_is_mixture(seed, trials, jobs, &shifts);
+    println!("rare is_trials: {}", is.trials);
+    println!("rare is_failures: {}", is.failures);
+    println!("rare is_p_fail: {:.6e}", is.p_fail);
+    println!("rare is_std_error: {:.6e}", is.std_error());
+    println!("rare is_rse: {:.4}", is.rse());
+    println!("rare mc_equivalent_trials: {:.3e}", is.mc_equivalent_trials());
+    println!("rare speedup_over_mc: {:.1}", is.speedup_over_mc());
+
+    let mut crossval_failed = false;
+    if mc_trials > 0 {
+        eprintln!("rare-yield: cross-validating against {mc_trials} plain-MC trials ...");
+        let mc = engine.run_mc(seed.wrapping_add(1), mc_trials, jobs);
+        println!("rare mc_trials: {}", mc.trials);
+        println!("rare mc_failures: {}", mc.failures);
+        println!("rare mc_p_fail: {:.6e}", mc.p_fail);
+        println!("rare mc_std_error: {:.6e}", mc.std_error());
+        let sigma = agreement_sigma(&mc, &is);
+        println!("rare crossval_sigma: {sigma:.2}");
+        let verdict = if sigma <= 3.0 { "PASS" } else { "FAIL" };
+        println!("rare crossval: {verdict}");
+        crossval_failed = sigma > 3.0;
+    }
+
+    let blockade = engine.run_blockade(seed, pilot, trials, safety, jobs);
+    println!("rare blockade_simulated: {}", blockade.simulated);
+    println!("rare blockade_blocked: {}", blockade.blocked);
+    println!("rare blockade_p_fail: {:.6e}", blockade.estimate.p_fail);
+
+    // Feed the measured per-cell failure probability into the spare
+    // economics: expected defects on the nonredundant array, then the
+    // cost-per-good-die optimum over spare counts.
+    let p_cell = is.p_fail.clamp(0.0, 1.0);
+    let sweep = optimize_spares_measured(words, bpw, bpc, p_cell, 0.05, max_spares);
+    let base = ArrayOrg::new(words, bpw, bpc, 0).map_err(|e| e.to_string())?;
+    println!("rare cell_p_fail: {p_cell:.6e}");
+    println!(
+        "rare expected_defects: {:.4}",
+        p_cell * base.total_cells() as f64
+    );
+    println!("rare optimal_spares: {}", sweep.optimal_spares);
+    println!(
+        "rare optimal_cost: {:.6}",
+        sweep.points[sweep.optimal_spares].relative_cost
+    );
+
+    // Re-check the chosen organization end to end: random defect
+    // patterns at the measured defectivity through the real BIST + BISR
+    // flow, reported with its variance so the comparison against the
+    // analytic sweep is variance-aware rather than eyeballed.
+    let spares = sweep.optimal_spares.max(1);
+    let org = ArrayOrg::new(words, bpw, bpc, spares).map_err(|e| e.to_string())?;
+    let defects = p_cell * base.total_cells() as f64;
+    let mc_yield = simulate_yield_seeded(seed, org, defects, 400, None, jobs);
+    let (lo, hi) = mc_yield.usable_wilson_interval(1.96);
+    println!("rare usable_fraction: {:.6}", mc_yield.usable_fraction());
+    println!("rare usable_std_error: {:.6e}", mc_yield.usable_std_error());
+    println!("rare usable_wilson95: [{lo:.6}, {hi:.6}]");
+    eprintln!(
+        "rare-yield done in {:.2}s: p_fail {:.3e} (rse {:.1}%), {} spares optimal",
+        start.elapsed().as_secs_f64(),
+        is.p_fail,
+        100.0 * is.rse(),
+        sweep.optimal_spares
+    );
+    if crossval_failed {
+        return Err("IS and exhaustive MC disagree by more than 3 sigma".to_owned());
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("chip-diagnose") {
@@ -432,6 +652,9 @@ fn run() -> Result<(), String> {
     }
     if raw.first().map(String::as_str) == Some("fleet") {
         return fleet(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("rare-yield") {
+        return rare_yield(raw[1..].to_vec());
     }
     let args = parse_args()?;
     let process = Process::by_name(&args.process)

@@ -20,6 +20,11 @@
 //! * **Monte-Carlo cross-check**: random defect patterns injected into
 //!   the behavioural memory and pushed through the *actual* BIST + BISR
 //!   machinery, validating the analytic `R`.
+//! * **Rare-event engine** ([`rare`]): mean-shift importance sampling
+//!   and statistical blockade over the circuit-level variation model of
+//!   `bisram-circuit`, turning 4–6σ bitcell tail probabilities from
+//!   "billions of brute-force trials" into an inner loop for spare-count
+//!   optimization.
 //!
 //! # Examples
 //!
@@ -37,6 +42,7 @@ pub mod cost;
 pub mod montecarlo;
 pub mod mpr;
 pub mod optimize;
+pub mod rare;
 pub mod reliability;
 pub mod repairability;
 pub mod stapper;

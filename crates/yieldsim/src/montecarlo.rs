@@ -49,27 +49,69 @@ pub fn negative_binomial_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64, alpha: 
     poisson_sample(rng, lambda)
 }
 
-/// Standard-normal variate (Box–Muller). Both uniforms use the same
-/// half-open `(0, 1)` guard: `u1` because `ln(0)` is `-∞`, `u2` so the
-/// angle draw comes from the identical distribution rather than the
-/// raw `[0, 1)` of `gen()`.
-fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+/// One Box–Muller transform: a *pair* of independent standard-normal
+/// variates from two uniforms. Both uniforms use the same half-open
+/// `(0, 1)` guard: `u1` because `ln(0)` is `-∞`, `u2` so the angle draw
+/// comes from the identical distribution rather than the raw `[0, 1)`
+/// of `gen()`.
+pub fn normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// A standard-normal stream that spends *both* Box–Muller variates: the
+/// sine component is cached and returned on the next call, so normal
+/// draws cost one uniform each on average instead of two. Shared by the
+/// defect samplers here and the variation sampler of the rare-event
+/// engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalSource {
+    spare: Option<f64>,
+}
+
+impl NormalSource {
+    /// An empty source (no cached variate).
+    pub fn new() -> Self {
+        NormalSource { spare: None }
+    }
+
+    /// The next standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let (z0, z1) = normal_pair(rng);
+        self.spare = Some(z1);
+        z0
+    }
+}
+
+/// Single standard-normal variate — the cosine half of [`normal_pair`].
+/// Call sites that draw repeatedly should hold a [`NormalSource`]
+/// instead, which doesn't discard the sine half.
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    normal_pair(rng).0
 }
 
 /// Gamma(shape, 1) variate by Marsaglia–Tsang, with the boost trick for
-/// shape < 1.
-fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+/// shape < 1. Public so distribution tests (and any future clustered
+/// variation model) can exercise it directly.
+pub fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
     if shape < 1.0 {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
     }
     let d = shape - 1.0 / 3.0;
     let c = 1.0 / (9.0 * d).sqrt();
+    // The rejection loop draws normals repeatedly: a local NormalSource
+    // spends the Box–Muller pair instead of discarding the sine half.
+    let mut normals = NormalSource::new();
     loop {
-        let x = box_muller(rng);
+        let x = normals.sample(rng);
         let v = (1.0 + c * x).powi(3);
         if v <= 0.0 {
             continue;
@@ -105,6 +147,49 @@ impl MonteCarloYield {
     pub fn good_fraction(&self) -> f64 {
         self.already_good as f64 / self.trials as f64
     }
+
+    /// Normal-approximation standard error of [`usable_fraction`]
+    /// (`√(p(1−p)/n)`): the one-sigma uncertainty a variance-aware
+    /// MC-vs-IS comparison divides by.
+    ///
+    /// [`usable_fraction`]: Self::usable_fraction
+    pub fn usable_std_error(&self) -> f64 {
+        binomial_std_error(self.usable_fraction(), self.trials)
+    }
+
+    /// Wilson score interval for [`usable_fraction`] at `z` sigmas
+    /// (z = 1.96 for 95%). Unlike the normal approximation it stays
+    /// inside `[0, 1]` and behaves at the extremes — the right interval
+    /// when a run sees zero (or only) failures.
+    ///
+    /// [`usable_fraction`]: Self::usable_fraction
+    pub fn usable_wilson_interval(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.already_good + self.repaired, self.trials, z)
+    }
+}
+
+/// `√(p(1−p)/n)` — the normal-approximation standard error of a
+/// binomial fraction.
+pub fn binomial_std_error(p: f64, n: usize) -> f64 {
+    if n == 0 {
+        return f64::NAN;
+    }
+    (p * (1.0 - p) / n as f64).sqrt()
+}
+
+/// Wilson score interval for `successes` out of `n` at `z` sigmas.
+pub fn wilson_interval(successes: usize, n: usize, z: f64) -> (f64, f64) {
+    assert!(successes <= n, "successes cannot exceed trials");
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
 }
 
 /// Runs `trials` random defect patterns with `mean_defects` average
@@ -249,6 +334,9 @@ mod tests {
         // `rng.gen()` path handed `u2 = 0` straight to the angle term).
         let z = box_muller(&mut ZeroRng);
         assert!(z.is_finite(), "degenerate draws must not blow up: {z}");
+        // Both halves of the pair are covered by the same guard.
+        let (z0, z1) = normal_pair(&mut ZeroRng);
+        assert!(z0.is_finite() && z1.is_finite(), "pair must stay finite: ({z0}, {z1})");
         // And a seeded stream keeps producing plausible, finite normals.
         let mut rng = StdRng::seed_from_u64(42);
         let n = 2000;
@@ -258,6 +346,70 @@ mod tests {
         let var = samples.iter().map(|z| (z - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.1, "standard normal mean came out {mean}");
         assert!((var - 1.0).abs() < 0.15, "standard normal variance came out {var}");
+    }
+
+    /// The cached-spare stream must deliver the same distribution as the
+    /// pair it is built from, including the sine halves it recycles.
+    #[test]
+    fn normal_source_matches_standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut src = NormalSource::new();
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|_| src.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|z| z.is_finite()));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|z| (z - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.08, "mean came out {mean}");
+        assert!((var - 1.0).abs() < 0.12, "variance came out {var}");
+        // Consecutive samples (cos/sin of one transform) stay
+        // uncorrelated.
+        let cov = samples
+            .chunks_exact(2)
+            .map(|c| c[0] * c[1])
+            .sum::<f64>()
+            / (n / 2) as f64;
+        assert!(cov.abs() < 0.1, "pair covariance came out {cov}");
+    }
+
+    /// Gamma(k, 1) has mean k and variance k — checked at a boosted
+    /// shape (0.5), the exponential corner (1), and a central shape (4).
+    #[test]
+    fn gamma_sample_moments_at_key_shapes() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for shape in [0.5, 1.0, 4.0] {
+            let n = 6000;
+            let samples: Vec<f64> = (0..n).map(|_| gamma_sample(&mut rng, shape)).collect();
+            assert!(samples.iter().all(|x| x.is_finite() && *x >= 0.0));
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!(
+                (mean / shape - 1.0).abs() < 0.1,
+                "shape {shape}: mean came out {mean}"
+            );
+            assert!(
+                (var / shape - 1.0).abs() < 0.2,
+                "shape {shape}: variance came out {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(90, 100, 1.96);
+        assert!(lo < 0.9 && 0.9 < hi, "interval ({lo:.3}, {hi:.3}) must cover p̂");
+        assert!(lo > 0.8 && hi < 0.97, "interval ({lo:.3}, {hi:.3}) implausibly wide");
+        // Extremes stay inside [0, 1] — the reason Wilson beats the
+        // normal approximation for rare events.
+        let (lo0, hi0) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.15);
+        let (lo1, hi1) = wilson_interval(50, 50, 1.96);
+        assert!(lo1 > 0.85 && lo1 < 1.0);
+        assert_eq!(hi1, 1.0);
+        // The normal-approx SE shrinks as 1/√n.
+        let se100 = binomial_std_error(0.5, 100);
+        let se400 = binomial_std_error(0.5, 400);
+        assert!((se100 / se400 - 2.0).abs() < 1e-12);
     }
 
     #[test]

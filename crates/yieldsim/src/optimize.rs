@@ -77,6 +77,32 @@ pub fn optimize_spares(
     }
 }
 
+/// [`optimize_spares`] driven by a *measured* per-cell failure
+/// probability (e.g. the rare-event engine's importance-sampled tail
+/// estimate) instead of an assumed mean defect count: the expected
+/// defect count on the nonredundant array is simply
+/// `p_cell × total_cells`.
+///
+/// # Panics
+///
+/// Panics if `p_cell` is outside `[0, 1]` or the geometry is invalid.
+pub fn optimize_spares_measured(
+    words: usize,
+    bpw: usize,
+    bpc: usize,
+    p_cell: f64,
+    overhead_fraction: f64,
+    max_spares: usize,
+) -> SpareSweep {
+    assert!(
+        (0.0..=1.0).contains(&p_cell),
+        "per-cell failure probability must be in [0, 1]"
+    );
+    let base = ArrayOrg::new(words, bpw, bpc, 0).expect("valid geometry");
+    let defects = p_cell * base.total_cells() as f64;
+    optimize_spares(words, bpw, bpc, defects, overhead_fraction, max_spares)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +178,24 @@ mod tests {
     #[should_panic(expected = "cannot be negative")]
     fn negative_defects_rejected() {
         optimize_spares(4096, 4, 4, -1.0, 0.05, 4);
+    }
+
+    #[test]
+    fn measured_probability_maps_to_expected_defects() {
+        // p_cell × cells ≈ 4 defects (16 Kb nonredundant array): the
+        // measured entry point must agree with the assumed-count sweep
+        // at that equivalent defectivity.
+        let cells = 4096 * 4; // words × bits-per-word
+        let p_cell = 4.0 / cells as f64;
+        let measured = optimize_spares_measured(4096, 4, 4, p_cell, 0.05, 16);
+        let assumed = optimize_spares(4096, 4, 4, 4.0, 0.05, 16);
+        assert_eq!(measured, assumed);
+        assert!(measured.optimal_spares > 0, "4 expected defects must buy spares");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_probability_rejected() {
+        optimize_spares_measured(4096, 4, 4, 1.5, 0.05, 4);
     }
 }

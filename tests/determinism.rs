@@ -13,6 +13,7 @@ use bisram_rng::rngs::StdRng;
 use bisram_rng::SeedableRng;
 use bisram_tech::Process;
 use bisram_yield::montecarlo::{self, MonteCarloYield};
+use bisram_yield::rare::{RareEngine, TrialKernel};
 use bisramgen::diag::{Transport, TransportFaults};
 use bisramgen::field::{
     heterogeneous_chip, simulate_fleet_golden_jobs, simulate_fleet_jobs, ChipConfig, ChipModel,
@@ -354,6 +355,51 @@ fn lane_packed_fleet_is_byte_identical_to_golden_at_every_worker_count() {
             "lifetimes={lifetimes}: no deaths — test lost its teeth"
         );
     }
+}
+
+#[test]
+fn rare_event_estimates_are_byte_identical_across_worker_counts() {
+    // The rare-event engine's full surface — pilot statistics, the
+    // deterministic shift pre-search, plain MC, mixture importance
+    // sampling and statistical blockade — must not depend on the worker
+    // count. `TailEstimate::eq` compares floats via `to_bits`, so the
+    // f64 weight sums must merge in chunk order, not completion order.
+    let mut engine = RareEngine::for_process(
+        &Process::cda07(),
+        TrialKernel::WriteMargin,
+        0.0,
+    );
+    engine.threshold = engine.calibrate_threshold(0xBEEF, 120, 1e-2, 1);
+    let shifts = engine.find_shifts();
+    assert!(!shifts.is_empty(), "pre-search must find a failure mode");
+
+    let stats = engine.metric_stats(0xBEEF, 120, 1);
+    let mc = engine.run_mc(0x5EED, 96, 1);
+    let is = engine.run_is_mixture(0x5EED, 96, 1, &shifts);
+    let blockade = engine.run_blockade(0x5EED, 64, 96, 3.0, 1);
+    for jobs in [2usize, 8] {
+        let (mean, std) = engine.metric_stats(0xBEEF, 120, jobs);
+        assert_eq!(stats.0.to_bits(), mean.to_bits(), "pilot mean at {jobs} workers");
+        assert_eq!(stats.1.to_bits(), std.to_bits(), "pilot std at {jobs} workers");
+        assert_eq!(
+            mc,
+            engine.run_mc(0x5EED, 96, jobs),
+            "plain MC diverged at {jobs} workers"
+        );
+        assert_eq!(
+            is,
+            engine.run_is_mixture(0x5EED, 96, jobs, &shifts),
+            "importance sampling diverged at {jobs} workers"
+        );
+        assert_eq!(
+            blockade,
+            engine.run_blockade(0x5EED, 64, 96, 3.0, jobs),
+            "blockade diverged at {jobs} workers"
+        );
+    }
+    // The pinned runs saw real failures — the equality had teeth.
+    assert!(mc.failures > 0, "calibrated threshold must produce failures");
+    assert!(is.failures > 0, "shifted run must hit the tail");
 }
 
 #[test]
