@@ -1,0 +1,175 @@
+//! Compile-service throughput: cold vs warm requests through a live
+//! daemon, single-flight dedup under a client herd, and sweep
+//! determinism/parity.
+//!
+//! Four acceptance bars, each printed as a grep-able PASS marker and
+//! asserted even in smoke mode (`BISRAM_BENCH_SMOKE=1`, what CI runs):
+//!
+//! * `serve throughput: PASS` — warm requests (shared `CellCache`
+//!   already holds every cell of the point) sustain at least 5x the
+//!   cold requests/sec through the same daemon and framing.
+//! * `serve dedup: PASS` — 8 identical concurrent requests against a
+//!   cold service compile exactly once; the service's own executed /
+//!   dedup counters are the evidence.
+//! * `sweep determinism: PASS` — the Pareto report is byte-identical
+//!   at --jobs 1, 2, and 8.
+//! * `serve parity: PASS` — the same sweep through a live daemon
+//!   produces byte-for-byte the in-process report.
+
+use bisram_bench::banner;
+use bisram_serve::{
+    run_sweep, Client, Daemon, DaemonConfig, Listen, Service, SweepBackend, SweepSpec,
+};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn start_daemon(service: Arc<Service>) -> Daemon {
+    Daemon::start_with_service(
+        &DaemonConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_owned()),
+            jobs: Some(2),
+        },
+        service,
+    )
+    .expect("daemon binds an ephemeral port")
+}
+
+fn characterize_spec(words: usize, spares: usize) -> String {
+    format!("job = characterize\nwords = {words}\nbpw = 16\nbpc = 4\nspares = {spares}\n")
+}
+
+fn main() {
+    banner(
+        "serve_throughput",
+        "daemon requests/sec cold vs warm, single-flight dedup, sweep parity",
+    );
+    let smoke = std::env::var("BISRAM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    // ---- cold vs warm requests/sec ---------------------------------------
+    //
+    // Cold: distinct organizations, every cell synthesized from scratch.
+    // Warm: the same organization over and over — after the first
+    // request the shared cache holds every cell, so the request cost is
+    // framing + metric formatting. Both phases run through the same
+    // daemon, same transport, same client loop; the ratio isolates what
+    // the resident service buys.
+    let (cold_points, warm_requests) = if smoke { (3, 30) } else { (6, 300) };
+    let service = Arc::new(Service::cold());
+    let daemon = start_daemon(Arc::clone(&service));
+    let listen = daemon.listen().clone();
+    let mut client = Client::connect(&listen).expect("connect");
+
+    let cold_specs: Vec<String> = (0..cold_points)
+        .map(|i| characterize_spec(128 << (i % 3), 1 + i))
+        .collect();
+    let start = Instant::now();
+    for spec in &cold_specs {
+        let (result, dedup) = client.request_text(spec).expect("cold request");
+        assert!(!dedup, "cold request cannot be a dedup hit");
+        assert!(result.section("metrics.txt").is_some());
+    }
+    let cold_secs = start.elapsed().as_secs_f64();
+    let cold_rps = cold_points as f64 / cold_secs;
+
+    let warm_spec = &cold_specs[0];
+    let start = Instant::now();
+    for _ in 0..warm_requests {
+        let (result, _) = client.request_text(warm_spec).expect("warm request");
+        assert!(result.section("metrics.txt").is_some());
+    }
+    let warm_secs = start.elapsed().as_secs_f64();
+    let warm_rps = warm_requests as f64 / warm_secs;
+
+    let ratio = warm_rps / cold_rps.max(1e-12);
+    println!(
+        "cold: {cold_points} requests in {:.2} ms = {cold_rps:.1} req/s",
+        cold_secs * 1e3
+    );
+    println!(
+        "warm: {warm_requests} requests in {:.2} ms = {warm_rps:.1} req/s",
+        warm_secs * 1e3
+    );
+    assert!(
+        ratio >= 5.0,
+        "warm requests must sustain at least 5x cold throughput, measured {ratio:.2}x"
+    );
+    println!("serve throughput: PASS ({ratio:.1}x warm over cold)");
+    client.shutdown().expect("shutdown");
+    daemon.join();
+
+    // ---- single-flight dedup under a concurrent herd ---------------------
+    let service = Arc::new(Service::cold());
+    let daemon = start_daemon(Arc::clone(&service));
+    let listen = daemon.listen().clone();
+    let herd = 8;
+    let spec = characterize_spec(1024, 4);
+    let barrier = Arc::new(Barrier::new(herd));
+    let handles: Vec<_> = (0..herd)
+        .map(|_| {
+            let listen = listen.clone();
+            let spec = spec.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&listen).expect("connect");
+                barrier.wait();
+                let (result, _) = client.request_text(&spec).expect("herd request");
+                result.section("metrics.txt").expect("metrics").to_owned()
+            })
+        })
+        .collect();
+    let metrics: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("herd thread"))
+        .collect();
+    for m in &metrics {
+        assert_eq!(m, &metrics[0], "herd responses must be byte-identical");
+    }
+    let (_, executed, dedup_hits) = service.counters();
+    assert_eq!(
+        executed, 1,
+        "{herd} identical concurrent requests must compile exactly once"
+    );
+    assert_eq!(dedup_hits, herd as u64 - 1);
+    println!("serve dedup: PASS ({herd} concurrent requests, 1 compile, {dedup_hits} dedup hits)");
+    let mut client = Client::connect(&listen).expect("connect");
+    client.shutdown().expect("shutdown");
+    daemon.join();
+
+    // ---- sweep determinism across --jobs ---------------------------------
+    let sweep_text = if smoke {
+        "words = 128, 256\nbpw = 8\nbpc = 4\nspares = 1, 3\nverify = none\n"
+    } else {
+        "words = 128, 256, 512\nbpw = 8, 16\nbpc = 4\nspares = 1, 2, 4\nverify = none\n"
+    };
+    let sweep = SweepSpec::parse(sweep_text).expect("sweep spec");
+    let mut reports = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let service = Service::cold();
+        let backend = SweepBackend::InProcess(&service);
+        let start = Instant::now();
+        let report = run_sweep(&sweep, &backend, Some(jobs)).expect("sweep runs");
+        println!(
+            "sweep --jobs {jobs}: {} points in {:.2} ms",
+            report.points.len(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        reports.push(report.text);
+    }
+    assert!(
+        reports.iter().all(|r| r == &reports[0]),
+        "sweep report differs across --jobs"
+    );
+    println!("sweep determinism: PASS (byte-identical at --jobs 1, 2, 8)");
+
+    // ---- daemon vs in-process parity -------------------------------------
+    let daemon = start_daemon(Arc::new(Service::cold()));
+    let backend = SweepBackend::Daemon(daemon.listen().clone());
+    let report = run_sweep(&sweep, &backend, Some(4)).expect("daemon sweep");
+    daemon.stop();
+    daemon.join();
+    assert_eq!(
+        report.text, reports[0],
+        "daemon sweep diverged from in-process"
+    );
+    println!("serve parity: PASS (daemon report == in-process report)");
+}

@@ -43,7 +43,7 @@ mod params;
 pub mod pipeline;
 
 pub use compiler::{compile, compile_with, Areas, CompileError, CompiledRam};
-pub use pipeline::{CellCache, CompileOptions, PipelineTrace, VerifyMode};
+pub use pipeline::{CellCache, CompileOptions, KindStats, PipelineTrace, VerifyMode};
 pub use datasheet::{ChipSheet, Datasheet, ReliabilitySheet};
 pub use overhead::{overhead_row, OverheadRow};
 pub use params::{ParamError, RamParams, RamParamsBuilder};

@@ -23,7 +23,33 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// the handful of compile worker threads from convoying on one lock.
 const SHARDS: usize = 16;
 
-type Shard = Mutex<HashMap<(&'static str, ContentKey), Arc<dyn Any + Send + Sync>, FxBuildHasher>>;
+/// One shard: the artifact map plus the per-kind hit/miss tallies for
+/// the keys that hash into this shard. Keeping the tallies inside the
+/// shard lock the lookup already holds makes per-kind accounting free
+/// of any extra synchronization on the hot path.
+#[derive(Debug, Default)]
+struct ShardInner {
+    map: HashMap<(&'static str, ContentKey), Arc<dyn Any + Send + Sync>, FxBuildHasher>,
+    kind_hits: HashMap<&'static str, u64>,
+    kind_misses: HashMap<&'static str, u64>,
+}
+
+type Shard = Mutex<ShardInner>;
+
+/// Aggregated traffic for one cache kind (`leaf`, `macro`, a stage
+/// name, `verify`, `verify-cert`, …) — the per-kind slice of
+/// [`CellCache::hits`]/[`CellCache::misses`], surfaced by the compile
+/// service's status response so cache behavior under traffic is
+/// observable per artifact class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindStats {
+    /// The cache kind string.
+    pub kind: &'static str,
+    /// Lookups of this kind that found a live artifact.
+    pub hits: u64,
+    /// Lookups of this kind that had to build.
+    pub misses: u64,
+}
 
 /// A sharded, content-keyed map of compile artifacts.
 #[derive(Debug, Default)]
@@ -77,9 +103,15 @@ impl CellCache {
             return Ok(found);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+            *shard.kind_misses.entry(kind).or_insert(0) += 1;
+        }
         let built: Arc<T> = Arc::new(build()?);
-        let mut map = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
-        map.insert((kind, key), Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard
+            .map
+            .insert((kind, key), Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
         Ok(built)
     }
 
@@ -92,11 +124,12 @@ impl CellCache {
         kind: &'static str,
         key: ContentKey,
     ) -> Option<Arc<T>> {
-        let map = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
-        let found = map.get(&(kind, key)).cloned()?;
-        drop(map);
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        let found = shard.map.get(&(kind, key)).cloned()?;
         match found.downcast::<T>() {
             Ok(t) => {
+                *shard.kind_hits.entry(kind).or_insert(0) += 1;
+                drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(t)
             }
@@ -135,11 +168,34 @@ impl CellCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Per-kind hit/miss totals since construction, aggregated across
+    /// shards and sorted by kind name — a deterministic snapshot for
+    /// status reporting (the per-kind rows sum to
+    /// [`CellCache::hits`]/[`CellCache::misses`]).
+    pub fn kind_stats(&self) -> Vec<KindStats> {
+        let mut agg: HashMap<&'static str, (u64, u64)> = HashMap::new();
+        for s in &self.shards {
+            let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+            for (&kind, &h) in &shard.kind_hits {
+                agg.entry(kind).or_insert((0, 0)).0 += h;
+            }
+            for (&kind, &m) in &shard.kind_misses {
+                agg.entry(kind).or_insert((0, 0)).1 += m;
+            }
+        }
+        let mut out: Vec<KindStats> = agg
+            .into_iter()
+            .map(|(kind, (hits, misses))| KindStats { kind, hits, misses })
+            .collect();
+        out.sort_by_key(|s| s.kind);
+        out
+    }
+
     /// Number of cached artifacts.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
             .sum()
     }
 
@@ -152,7 +208,7 @@ impl CellCache {
     /// the cache's lifetime, not its contents).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            s.lock().unwrap_or_else(|e| e.into_inner()).map.clear();
         }
     }
 }
@@ -206,6 +262,30 @@ mod tests {
         // A later successful build works.
         let ok: Arc<u32> = cache.get_or_build("test", key, || Ok(9)).unwrap();
         assert_eq!(*ok, 9);
+    }
+
+    #[test]
+    fn kind_stats_partition_the_totals() {
+        let cache = CellCache::new();
+        let k1 = content_key(&1u64);
+        let k2 = content_key(&2u64);
+        let _: Arc<u32> = cache.get_or_build("alpha", k1, || Ok(1)).unwrap();
+        let _: Arc<u32> = cache.get_or_build("alpha", k1, || Ok(1)).unwrap();
+        let _: Arc<u32> = cache.get_or_build("alpha", k2, || Ok(2)).unwrap();
+        let _: Arc<u32> = cache.get_or_build("beta", k1, || Ok(3)).unwrap();
+        let stats = cache.kind_stats();
+        // Sorted by kind, and the rows sum to the global counters.
+        assert_eq!(
+            stats,
+            vec![
+                KindStats { kind: "alpha", hits: 1, misses: 2 },
+                KindStats { kind: "beta", hits: 0, misses: 1 },
+            ]
+        );
+        let (h, m): (u64, u64) = stats
+            .iter()
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+        assert_eq!((h, m), (cache.hits(), cache.misses()));
     }
 
     #[test]

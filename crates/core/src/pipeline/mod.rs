@@ -39,7 +39,7 @@ pub mod macrocells;
 pub mod signoff;
 pub mod trace;
 
-pub use cache::CellCache;
+pub use cache::{CellCache, KindStats};
 pub use control::ControlPlan;
 pub use floorplan::Floorplan;
 pub use key::ContentKey;

@@ -7,12 +7,20 @@
 //! checksum. Dropped, duplicated or corrupted words are *detected* at
 //! the receiver — a diagnosis computed from a mangled signature would
 //! repair the wrong rows, which is worse than no repair at all.
+//!
+//! The framing primitives (the magic/count header word, the checksum
+//! trailer) are the shared [`bisram_wire`] implementation — the same
+//! one the compile-service socket protocol uses — so the two wire
+//! formats cannot drift apart. This module keeps only what is specific
+//! to march signatures: the geometry word, the record layout, and the
+//! receiver-side geometry cross-check.
 
 use bisram_bist::engine::{FailRecord, MarchSignature};
 use bisram_mem::{ArrayOrg, Word};
+use bisram_wire::{fnv1a64_words, header_word, seal_words, split_header};
 
 /// Tag in the high 32 bits of the first frame word.
-const MAGIC: u64 = 0xB15D_516E;
+const MAGIC: u32 = 0xB15D_516E;
 
 /// Typed receiver-side validation error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,17 +68,6 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn fnv1a64(words: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    h
-}
-
 fn limbs(bpw: usize) -> usize {
     bpw.div_ceil(64)
 }
@@ -84,7 +81,8 @@ fn limbs(bpw: usize) -> usize {
 /// beyond any real march over any valid organization.
 pub fn encode_signature(sig: &MarchSignature) -> Vec<u64> {
     let mut out = Vec::with_capacity(2 + sig.records.len() * (1 + limbs(sig.bpw)) + 1);
-    out.push((MAGIC << 32) | sig.records.len() as u64);
+    assert!(sig.records.len() < (1 << 32), "record count overflows frame field");
+    out.push(header_word(MAGIC, sig.records.len() as u32));
     assert!(sig.words < (1 << 32) && sig.bpw < (1 << 16), "geometry overflows frame fields");
     assert!(sig.backgrounds_run < (1 << 16), "background count overflows frame field");
     out.push(((sig.words as u64) << 32) | ((sig.bpw as u64) << 16) | sig.backgrounds_run as u64);
@@ -110,7 +108,7 @@ pub fn encode_signature(sig: &MarchSignature) -> Vec<u64> {
             out.push(w);
         }
     }
-    out.push(fnv1a64(&out));
+    seal_words(&mut out);
     out
 }
 
@@ -132,10 +130,11 @@ pub fn decode_signature(
     if frames.len() < 3 {
         return Err(WireError::TooShort);
     }
-    if frames[0] >> 32 != MAGIC {
+    let (magic, count) = split_header(frames[0]);
+    if magic != MAGIC {
         return Err(WireError::BadMagic);
     }
-    let count = (frames[0] & 0xFFFF_FFFF) as usize;
+    let count = count as usize;
     let bpw_limbs = limbs(org.bpw());
     let expected = 2 + count * (1 + bpw_limbs) + 1;
     if frames.len() != expected {
@@ -147,7 +146,7 @@ pub fn decode_signature(
     // Checksum first: a corrupted geometry word must not read as a
     // geometry mismatch.
     let body = &frames[..frames.len() - 1];
-    if fnv1a64(body) != frames[frames.len() - 1] {
+    if fnv1a64_words(body) != frames[frames.len() - 1] {
         return Err(WireError::BadChecksum);
     }
     let geo = frames[1];
@@ -203,14 +202,14 @@ pub fn decode_signature(
 /// Receiver-side integrity check without full decoding — what the
 /// transport layer uses to decide whether to retry a delivery.
 pub fn frames_valid(frames: &[u64], org: &ArrayOrg) -> bool {
-    if frames.len() < 3 || frames[0] >> 32 != MAGIC {
+    if frames.len() < 3 || split_header(frames[0]).0 != MAGIC {
         return false;
     }
-    let count = (frames[0] & 0xFFFF_FFFF) as usize;
+    let count = split_header(frames[0]).1 as usize;
     if frames.len() != 2 + count * (1 + limbs(org.bpw())) + 1 {
         return false;
     }
-    fnv1a64(&frames[..frames.len() - 1]) == frames[frames.len() - 1]
+    fnv1a64_words(&frames[..frames.len() - 1]) == frames[frames.len() - 1]
 }
 
 #[cfg(test)]
@@ -291,6 +290,22 @@ mod tests {
             decode_signature(&frames, &other, "ifa13").unwrap_err(),
             WireError::GeometryMismatch
         );
+    }
+
+    #[test]
+    fn wire_layout_is_pinned_to_the_shared_framing() {
+        // Hand-assemble an empty signature's frame from the shared
+        // `bisram-wire` primitives: hoisting the framing must not have
+        // changed a single byte on the link.
+        let mut m = SramModel::new(org());
+        let sig = run_march_diagnose(&march::ifa9(), &mut m, &MarchConfig::default(), None);
+        let frames = encode_signature(&sig);
+        let mut expect = vec![
+            header_word(0xB15D_516E, 0),
+            ((sig.words as u64) << 32) | ((sig.bpw as u64) << 16) | sig.backgrounds_run as u64,
+        ];
+        seal_words(&mut expect);
+        assert_eq!(frames, expect);
     }
 
     #[test]

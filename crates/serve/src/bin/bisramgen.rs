@@ -19,9 +19,29 @@
 //! bisramgen chip-diagnose --macros 16 --seed 7 --process CDA.7u3m1p \
 //!           --budget 2048 --timeout-prob 0.1
 //! ```
+//!
+//! The `serve`, `request` and `sweep` subcommands expose the compile
+//! service: `serve` runs the long-lived daemon on a Unix or TCP socket,
+//! `request` batches job spec files against it, and `sweep` expands a
+//! declarative parameter sweep through the same service layer (with or
+//! without a daemon) into a Pareto report:
+//!
+//! ```sh
+//! bisramgen serve --socket /tmp/bisram.sock &
+//! bisramgen request --socket /tmp/bisram.sock --ping myjob.job --status
+//! bisramgen sweep --spec myplan.sweep --jobs 8
+//! bisramgen request --socket /tmp/bisram.sock --shutdown
+//! ```
+//!
+//! Exit codes are uniform across subcommands: 0 success, 1 execution
+//! failure, 2 usage or spec error (see `--help`).
 
 use bisram_exec::resolve_jobs;
 use bisram_mem::ArrayOrg;
+use bisram_serve::{
+    run_sweep, Client, ClientError, Daemon, DaemonConfig, Listen, Service, SweepBackend,
+    SweepSpec,
+};
 use bisram_tech::Process;
 use bisram_yield::montecarlo::simulate_yield_seeded;
 use bisram_yield::optimize::optimize_spares_measured;
@@ -32,9 +52,56 @@ use bisramgen::field::{
     FieldConfig, SparePolicy,
 };
 use bisramgen::{compile_with, ChipSheet, CompileOptions, RamParams, VerifyMode};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A classified CLI error: the exit code says *what kind* of failure,
+/// uniformly across every subcommand (see the EXIT CODES section of
+/// each `--help` text).
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    /// Exit 2: the invocation or an input spec is wrong; rerunning the
+    /// same command cannot succeed.
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 1: the tool ran and the work failed (compile error, dirty
+    /// verification, crossval FAIL, I/O, daemon errors).
+    fn failure(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+// Bare `String` errors come from argument/spec validation, so `?`
+// classifies them as usage errors; execution-time sites wrap
+// explicitly with `CliError::failure`.
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::usage(message)
+    }
+}
+
+const EXIT_CODES: &str = "
+EXIT CODES:
+  0  success
+  1  execution failure (compile error, verification violations,
+     crossval FAIL, I/O or daemon errors)
+  2  usage or spec error (unknown flags, invalid parameters)
+";
 
 struct Args {
     words: usize,
@@ -108,6 +175,85 @@ SUBCOMMANDS:
   rare-yield       estimate a bitcell tail failure probability by importance
                    sampling and feed it into the spare-count economics; see
                    `bisramgen rare-yield --help`
+  serve            run the long-lived compile service on a Unix or TCP socket;
+                   see `bisramgen serve --help`
+  request          send job spec files to a running daemon and stream the
+                   artifact sections back; see `bisramgen request --help`
+  sweep            expand a declarative sweep spec, run every point through
+                   the service layer and print the Pareto report; see
+                   `bisramgen sweep --help`
+";
+
+const SERVE_USAGE: &str = "\
+bisramgen serve - long-lived compile service over a socket
+
+USAGE:
+  bisramgen serve (--socket PATH | --tcp ADDR) [OPTIONS]
+
+OPTIONS:
+  --socket PATH    listen on a Unix domain socket at PATH (a stale socket
+                   file is replaced)
+  --tcp ADDR       listen on a TCP address, e.g. 127.0.0.1:0 for an
+                   ephemeral port; the resolved address is printed
+  --jobs N         worker threads per compile (default: BISRAM_JOBS, then
+                   all cores)
+  --help           show this text
+
+Speaks length-prefixed FNV-checksummed frames; a request frame carries a
+job spec text (job = compile | characterize | verify | rare-yield | fleet |
+status | ping | shutdown). All requests share one cell cache; identical
+in-flight requests collapse onto a single execution. Prints
+`serve listening: <addr>` once ready, then blocks until a client sends a
+`job = shutdown` request; shutdown drains in-flight work before exiting.
+";
+
+const REQUEST_USAGE: &str = "\
+bisramgen request - send job specs to a running daemon
+
+USAGE:
+  bisramgen request (--socket PATH | --tcp ADDR) [OPTIONS] [SPEC...]
+
+OPTIONS:
+  --socket PATH    connect to the daemon's Unix domain socket
+  --tcp ADDR       connect to the daemon's TCP address
+  --out DIR        write each returned section to DIR/r<i>_<name> instead
+                   of printing section contents to stdout
+  --ping           prepend a liveness probe
+  --status         append a status request (server counters, cache stats)
+  --shutdown       append a shutdown request (daemon drains and exits)
+  --help           show this text
+
+Each SPEC file is one request; all requests in the invocation are batched
+back-to-back over a single connection and answered in order. Without
+--out, every returned section's content prints to stdout verbatim (one
+request's sections after another); progress goes to stderr.
+";
+
+const SWEEP_USAGE: &str = "\
+bisramgen sweep - declarative parameter sweep with a Pareto report
+
+USAGE:
+  bisramgen sweep --spec FILE [OPTIONS]
+
+OPTIONS:
+  --spec FILE      sweep spec: `key = v1, v2, ...` lines; axis keys
+                   (words, bpw, bpc, spares, process, gate-size, verify)
+                   may list several values, scalar keys (defects, lambda,
+                   strap-every, strap-lambda) exactly one
+  --socket PATH    execute points against the daemon on this Unix socket
+  --tcp ADDR       execute points against the daemon on this TCP address
+                   (default: in-process service, no daemon needed)
+  --jobs N         concurrent sweep points (default: BISRAM_JOBS, then all
+                   cores); the report is byte-identical at any value
+  --out FILE       also write the report to FILE
+  --help           show this text
+
+Expands the cartesian matrix (first key varies slowest), drops duplicate
+points, runs every point as a `characterize` job and reduces the metric
+sections to `sweep <key>: <value>` lines plus a Pareto frontier table over
+area, yield, MTTF and relative repair cost. The report contains no
+wall-clock or worker-count information: bytes are identical at any --jobs
+and whether points ran in-process or through a daemon.
 ";
 
 const CHIP_USAGE: &str = "\
@@ -235,7 +381,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--verify-mode expects flat|hier, got {v:?}"))?;
             }
             "--help" | "-h" => {
-                print!("{USAGE}");
+                print!("{USAGE}{EXIT_CODES}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option {other:?} (try --help)")),
@@ -309,7 +455,7 @@ fn chip_diagnose(args: Vec<String>) -> Result<(), String> {
             "--dup-prob" => faults.duplicate_probability = parse_prob(&value("--dup-prob")?)?,
             "--timeout-prob" => faults.timeout_probability = parse_prob(&value("--timeout-prob")?)?,
             "--help" | "-h" => {
-                print!("{CHIP_USAGE}");
+                print!("{CHIP_USAGE}{EXIT_CODES}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option {other:?} (try chip-diagnose --help)")),
@@ -409,7 +555,7 @@ fn fleet(args: Vec<String>) -> Result<(), String> {
                 };
             }
             "--help" | "-h" => {
-                print!("{FLEET_USAGE}");
+                print!("{FLEET_USAGE}{EXIT_CODES}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option {other:?} (try fleet --help)")),
@@ -468,7 +614,7 @@ fn fleet(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn rare_yield(args: Vec<String>) -> Result<(), String> {
+fn rare_yield(args: Vec<String>) -> Result<(), CliError> {
     let mut process_name = "CDA.7u3m1p".to_owned();
     let mut kernel = TrialKernel::WriteMargin;
     let mut target_p = 1e-6f64;
@@ -508,7 +654,7 @@ fn rare_yield(args: Vec<String>) -> Result<(), String> {
             "--target-p" => {
                 let p = parse_f64("--target-p", &value("--target-p")?)?;
                 if !(p > 0.0 && p < 1.0) {
-                    return Err(format!("--target-p {p} outside (0, 1)"));
+                    return Err(CliError::usage(format!("--target-p {p} outside (0, 1)")));
                 }
                 target_p = p;
             }
@@ -529,17 +675,21 @@ fn rare_yield(args: Vec<String>) -> Result<(), String> {
             "--bpc" => bpc = parse_num(&value("--bpc")?)?,
             "--max-spares" => max_spares = parse_num(&value("--max-spares")?)?,
             "--help" | "-h" => {
-                print!("{RARE_USAGE}");
+                print!("{RARE_USAGE}{EXIT_CODES}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown option {other:?} (try rare-yield --help)")),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown option {other:?} (try rare-yield --help)"
+                )))
+            }
         }
     }
     if trials < 2 {
-        return Err("--trials must be at least 2".to_owned());
+        return Err(CliError::usage("--trials must be at least 2"));
     }
     if pilot < 8 {
-        return Err("--pilot must be at least 8".to_owned());
+        return Err(CliError::usage("--pilot must be at least 8"));
     }
 
     let process = Process::by_name(&process_name).ok_or_else(|| {
@@ -640,21 +790,261 @@ fn rare_yield(args: Vec<String>) -> Result<(), String> {
         sweep.optimal_spares
     );
     if crossval_failed {
-        return Err("IS and exhaustive MC disagree by more than 3 sigma".to_owned());
+        return Err(CliError::failure(
+            "IS and exhaustive MC disagree by more than 3 sigma",
+        ));
     }
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+
+/// Parses the shared `--socket PATH | --tcp ADDR` pair. Exactly one
+/// must be given when `required`, at most one otherwise.
+fn parse_listen(
+    socket: Option<String>,
+    tcp: Option<String>,
+    required: bool,
+    help: &str,
+) -> Result<Option<Listen>, CliError> {
+    match (socket, tcp) {
+        (Some(_), Some(_)) => Err(CliError::usage(format!(
+            "--socket and --tcp are mutually exclusive (try {help})"
+        ))),
+        (Some(path), None) => Ok(Some(Listen::Unix(PathBuf::from(path)))),
+        (None, Some(addr)) => Ok(Some(Listen::Tcp(addr))),
+        (None, None) if required => Err(CliError::usage(format!(
+            "need --socket PATH or --tcp ADDR (try {help})"
+        ))),
+        (None, None) => Ok(None),
+    }
+}
+
+fn serve(args: Vec<String>) -> Result<(), CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--tcp" => tcp = Some(value("--tcp")?),
+            "--jobs" => jobs = Some(parse_num(&value("--jobs")?)?),
+            "--help" | "-h" => {
+                print!("{SERVE_USAGE}{EXIT_CODES}");
+                std::process::exit(0);
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown option {other:?} (try serve --help)"
+                )))
+            }
+        }
+    }
+    let listen = parse_listen(socket, tcp, true, "serve --help")?
+        .unwrap_or_else(|| unreachable!("required listen"));
+
+    let daemon = Daemon::start(&DaemonConfig { listen, jobs })
+        .map_err(|e| CliError::failure(format!("binding listener: {e}")))?;
+    println!("serve listening: {}", daemon.listen());
+    // A parent process polls stdout for the line above; make sure it
+    // is visible before we block.
+    let _ = std::io::stdout().flush();
+    eprintln!("serve: ready (send a `job = shutdown` request to stop)");
+    daemon.join();
+    println!("serve done: drained");
+    Ok(())
+}
+
+fn request(args: Vec<String>) -> Result<(), CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut ping = false;
+    let mut status = false;
+    let mut shutdown = false;
+    let mut specs: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--tcp" => tcp = Some(value("--tcp")?),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--ping" => ping = true,
+            "--status" => status = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                print!("{REQUEST_USAGE}{EXIT_CODES}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::usage(format!(
+                    "unknown option {other:?} (try request --help)"
+                )))
+            }
+            spec => specs.push(PathBuf::from(spec)),
+        }
+    }
+    let listen = parse_listen(socket, tcp, true, "request --help")?
+        .unwrap_or_else(|| unreachable!("required listen"));
+    if specs.is_empty() && !ping && !status && !shutdown {
+        return Err(CliError::usage(
+            "nothing to send: give SPEC files and/or --ping/--status/--shutdown".to_owned(),
+        ));
+    }
+
+    // Build the batched request texts: probe first, then the spec
+    // files in order, then status/shutdown.
+    let mut texts: Vec<(String, String)> = Vec::new();
+    if ping {
+        texts.push(("--ping".to_owned(), "job = ping\n".to_owned()));
+    }
+    for path in &specs {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::usage(format!("reading {path:?}: {e}")))?;
+        texts.push((path.display().to_string(), text));
+    }
+    if status {
+        texts.push(("--status".to_owned(), "job = status\n".to_owned()));
+    }
+    if shutdown {
+        texts.push(("--shutdown".to_owned(), "job = shutdown\n".to_owned()));
+    }
+
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::failure(format!("creating {dir:?}: {e}")))?;
+    }
+    let mut client = Client::connect(&listen)
+        .map_err(|e| CliError::failure(format!("connecting to {listen}: {e}")))?;
+    for (i, (label, text)) in texts.iter().enumerate() {
+        let (result, dedup) = client.request_text(text).map_err(|e| match e {
+            // The server judged the request malformed: that is a spec
+            // problem on our side, exit 2 like any other usage error.
+            ClientError::Server(ref f) if f.code == 400 => {
+                CliError::usage(format!("request {i} ({label}): {e}"))
+            }
+            other => CliError::failure(format!("request {i} ({label}): {other}")),
+        })?;
+        eprintln!(
+            "request {i} ({label}): {} sections (dedup={})",
+            result.sections.len(),
+            u8::from(dedup)
+        );
+        for section in &result.sections {
+            match &out {
+                Some(dir) => {
+                    let path = dir.join(format!("r{i}_{}", section.name));
+                    std::fs::write(&path, &section.content)
+                        .map_err(|e| CliError::failure(format!("writing {path:?}: {e}")))?;
+                    eprintln!("  wrote {}", path.display());
+                }
+                None => print!("{}", section.content),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sweep(args: Vec<String>) -> Result<(), CliError> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => spec_path = Some(PathBuf::from(value("--spec")?)),
+            "--socket" => socket = Some(value("--socket")?),
+            "--tcp" => tcp = Some(value("--tcp")?),
+            "--jobs" => jobs = Some(parse_num(&value("--jobs")?)?),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                print!("{SWEEP_USAGE}{EXIT_CODES}");
+                std::process::exit(0);
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown option {other:?} (try sweep --help)"
+                )))
+            }
+        }
+    }
+    let spec_path =
+        spec_path.ok_or_else(|| CliError::usage("sweep needs --spec FILE (try sweep --help)"))?;
+    let listen = parse_listen(socket, tcp, false, "sweep --help")?;
+
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| CliError::usage(format!("reading {spec_path:?}: {e}")))?;
+    let sweep_spec = SweepSpec::parse(&text)
+        .map_err(|e| CliError::usage(format!("{}: {e}", spec_path.display())))?;
+    // Validate every point up front so spec problems exit 2, leaving
+    // exit 1 for genuine execution failures.
+    let points = sweep_spec.expand().map_err(CliError::usage)?;
+
+    let start = Instant::now();
+    let service;
+    let backend = match &listen {
+        Some(listen) => SweepBackend::Daemon(listen.clone()),
+        None => {
+            service = Service::with_cache(Arc::clone(bisramgen::CellCache::global()), None);
+            SweepBackend::InProcess(&service)
+        }
+    };
+    eprintln!(
+        "sweep: {} points via {} ...",
+        points.len(),
+        listen
+            .as_ref()
+            .map_or_else(|| "in-process service".to_owned(), Listen::to_string)
+    );
+    let report = run_sweep(&sweep_spec, &backend, jobs).map_err(CliError::failure)?;
+    eprintln!(
+        "sweep done: {} points, {} on the frontier, {:.2}s",
+        report.points.len(),
+        report.points.iter().filter(|p| p.pareto).count(),
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", report.text);
+    if let Some(path) = &out {
+        std::fs::write(path, &report.text)
+            .map_err(|e| CliError::failure(format!("writing {path:?}: {e}")))?;
+        eprintln!("  wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("chip-diagnose") {
-        return chip_diagnose(raw[1..].to_vec());
+        return chip_diagnose(raw[1..].to_vec()).map_err(CliError::usage);
     }
     if raw.first().map(String::as_str) == Some("fleet") {
-        return fleet(raw[1..].to_vec());
+        return fleet(raw[1..].to_vec()).map_err(CliError::usage);
     }
     if raw.first().map(String::as_str) == Some("rare-yield") {
         return rare_yield(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        return serve(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("request") {
+        return request(raw[1..].to_vec());
+    }
+    if raw.first().map(String::as_str) == Some("sweep") {
+        return sweep(raw[1..].to_vec());
     }
     let args = parse_args()?;
     let process = Process::by_name(&args.process)
@@ -677,15 +1067,17 @@ fn run() -> Result<(), String> {
     if let Some(jobs) = args.jobs {
         options = options.with_jobs(jobs);
     }
-    let ram = compile_with(&params, &options).map_err(|e| e.to_string())?;
+    let ram = compile_with(&params, &options).map_err(|e| CliError::failure(e.to_string()))?;
     if args.timings {
         eprintln!("{}", ram.trace());
     }
 
-    std::fs::create_dir_all(&args.out).map_err(|e| format!("creating {:?}: {e}", args.out))?;
-    let write = |name: &str, contents: &str| -> Result<(), String> {
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| CliError::failure(format!("creating {:?}: {e}", args.out)))?;
+    let write = |name: &str, contents: &str| -> Result<(), CliError> {
         let path = args.out.join(name);
-        std::fs::write(&path, contents).map_err(|e| format!("writing {path:?}: {e}"))?;
+        std::fs::write(&path, contents)
+            .map_err(|e| CliError::failure(format!("writing {path:?}: {e}")))?;
         eprintln!("  wrote {}", path.display());
         Ok(())
     };
@@ -740,7 +1132,7 @@ fn run() -> Result<(), String> {
         ram.datasheet().access_time_s * 1e9
     );
     if verify_dirty {
-        return Err("physical verification found violations".to_owned());
+        return Err(CliError::failure("physical verification found violations"));
     }
     Ok(())
 }
@@ -748,9 +1140,9 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("bisramgen: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("bisramgen: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

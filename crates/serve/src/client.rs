@@ -1,0 +1,168 @@
+//! The daemon client: one connection, many requests.
+//!
+//! A [`Client`] holds one open connection and issues requests
+//! back-to-back — batch N jobs over one socket and the daemon answers
+//! them in order. Responses stream section-by-section; the client
+//! collects them and checks the `done` terminator's section count, so
+//! a silently truncated stream (every frame individually intact, but
+//! frames missing) is still detected.
+
+use crate::daemon::{Conn, Listen};
+use crate::proto::RespFrame;
+use crate::service::{JobFailure, JobResult, Section};
+use crate::JobSpec;
+use bisram_wire::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use std::io;
+
+/// Why a request failed from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// A response frame failed transport validation.
+    Frame(FrameError),
+    /// A response frame decoded to something nonsensical (bad payload,
+    /// sections after `done`, wrong section count).
+    Proto(String),
+    /// The server answered with a typed error.
+    Server(JobFailure),
+}
+
+impl ClientError {
+    /// Whether resending the same request can succeed (on a fresh
+    /// connection for transport errors).
+    pub fn retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Frame(e) => e.retryable(),
+            ClientError::Proto(_) => false,
+            ClientError::Server(f) => f.retryable,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Proto(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(failure) => write!(f, "server {failure}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// The connect error, verbatim.
+    pub fn connect(listen: &Listen) -> io::Result<Client> {
+        Ok(Client {
+            conn: Conn::connect(listen)?,
+        })
+    }
+
+    /// Sends a raw spec text and collects the full response. Returns
+    /// the sections and whether the server deduplicated the request
+    /// onto another in-flight identical request.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] for socket, framing, protocol or server errors.
+    pub fn request_text(&mut self, spec_text: &str) -> Result<(JobResult, bool), ClientError> {
+        write_frame(&mut self.conn, spec_text.as_bytes())?;
+        let mut sections: Vec<Section> = Vec::new();
+        loop {
+            let payload = match read_frame(&mut self.conn, MAX_FRAME_BYTES) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => {
+                    return Err(ClientError::Proto(
+                        "server closed the connection mid-response".to_owned(),
+                    ))
+                }
+                Err(e) => return Err(ClientError::Frame(e)),
+            };
+            match RespFrame::decode(&payload).map_err(ClientError::Proto)? {
+                RespFrame::Section { name, content } => sections.push(Section { name, content }),
+                RespFrame::Done {
+                    sections: expected,
+                    dedup,
+                } => {
+                    if sections.len() != expected {
+                        return Err(ClientError::Proto(format!(
+                            "done claims {expected} sections, received {}",
+                            sections.len()
+                        )));
+                    }
+                    return Ok((JobResult { sections }, dedup));
+                }
+                RespFrame::Error {
+                    code,
+                    retryable,
+                    message,
+                } => {
+                    return Err(ClientError::Server(JobFailure {
+                        code,
+                        retryable,
+                        message,
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Sends a typed job (its canonical text).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_text`].
+    pub fn request(&mut self, job: &JobSpec) -> Result<(JobResult, bool), ClientError> {
+        self.request_text(&job.canonical())
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_text`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&JobSpec::Ping).map(|_| ())
+    }
+
+    /// Fetches the server's status section (counters, cache stats).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_text`].
+    pub fn status(&mut self) -> Result<String, ClientError> {
+        let (result, _) = self.request(&JobSpec::Status)?;
+        result
+            .section("status.txt")
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Proto("status response has no status.txt".to_owned()))
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_text`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&JobSpec::Shutdown).map(|_| ())
+    }
+}

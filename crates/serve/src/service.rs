@@ -1,0 +1,704 @@
+//! The compile service: one shared cache, single-flight dedup, typed
+//! outcomes.
+//!
+//! [`Service`] is the daemon's engine and equally usable in-process —
+//! the sweep orchestrator calls [`Service::submit`] directly when no
+//! daemon is running, so both paths execute *exactly* the same code and
+//! produce byte-identical sections.
+//!
+//! Three properties matter here:
+//!
+//! * **One cache, two tiers.** Every request compiles through the same
+//!   [`CellCache`], and *successful* outcomes are additionally
+//!   memoized whole (bounded FIFO, [`MEMO_CAP`] entries) under the
+//!   job's canonical key — a repeat of an already-served point costs a
+//!   map lookup plus framing. That is where the warm-vs-cold
+//!   throughput of the daemon comes from.
+//! * **Single-flight.** Identical requests that are in flight
+//!   *simultaneously* collapse onto one execution: the first caller
+//!   becomes the leader and computes, the rest block on the leader's
+//!   slot and share its `Arc`'d outcome. The [`Service::counters`]
+//!   triple (requests, executed, dedup hits) makes the collapse
+//!   observable and testable; memo hits count as dedup hits, since
+//!   both mean "reused another submission's execution".
+//! * **Determinism.** Section bytes never contain wall-clock time,
+//!   worker counts or anything else host-dependent; a given job spec
+//!   produces the same section bytes on every run at any parallelism.
+//!   (The [`status`](crate::JobSpec::Status) job reports live counters
+//!   and is the deliberate exception — it is diagnostic, not part of
+//!   any reduction.)
+
+use crate::job::{CompileJob, FleetJob, JobSpec, RareJob};
+use bisram_exec::resolve_jobs;
+use bisram_mem::ArrayOrg;
+use bisram_tech::Process;
+use bisram_yield::rare::{RareEngine, TrialKernel};
+use bisram_yield::reliability::ReliabilityModel;
+use bisram_yield::repairability::YieldModel;
+use bisramgen::field::{simulate_fleet_jobs, FieldConfig};
+use bisramgen::{compile_with, CellCache, CompileOptions, RamParams};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One named artifact streamed back to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Artifact name, e.g. `datasheet.txt` or `metrics.txt`.
+    pub name: String,
+    /// Artifact bytes (all sections are text).
+    pub content: String,
+}
+
+impl Section {
+    fn new(name: &str, content: impl Into<String>) -> Section {
+        Section {
+            name: name.to_owned(),
+            content: content.into(),
+        }
+    }
+}
+
+/// A completed job: its artifact sections, in streaming order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Artifact sections, in the order they stream.
+    pub sections: Vec<Section>,
+}
+
+impl JobResult {
+    /// The content of the section called `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.content.as_str())
+    }
+}
+
+/// A failed job, with a retry-classified status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Status code (HTTP-flavoured: 4xx request problems, 5xx server
+    /// states).
+    pub code: u32,
+    /// Whether resending the same request later can succeed.
+    pub retryable: bool,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl JobFailure {
+    /// A malformed or invalid request (`400`, not retryable).
+    pub fn bad_request(message: impl Into<String>) -> JobFailure {
+        JobFailure {
+            code: 400,
+            retryable: false,
+            message: message.into(),
+        }
+    }
+
+    /// A job that parsed fine but failed to execute (`422`, not
+    /// retryable — the same spec will fail the same way).
+    pub fn job_failed(message: impl Into<String>) -> JobFailure {
+        JobFailure {
+            code: 422,
+            retryable: false,
+            message: message.into(),
+        }
+    }
+
+    /// The server is draining for shutdown (`503`, retryable against a
+    /// restarted server).
+    pub fn draining() -> JobFailure {
+        JobFailure {
+            code: 503,
+            retryable: true,
+            message: "server is draining; resend to a fresh server".to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error {}: {}", self.code, self.message)
+    }
+}
+
+/// What a submitted job resolved to.
+pub type JobOutcome = Result<JobResult, JobFailure>;
+
+/// Single-flight slot: the leader parks its outcome here and wakes the
+/// followers.
+struct Slot {
+    result: Mutex<Option<Arc<JobOutcome>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Ceiling on memoized outcomes. Full artifact sets can run to
+/// megabytes (CIF layouts), so a long-lived daemon must not hoard them
+/// without bound; FIFO eviction keeps the policy deterministic.
+pub const MEMO_CAP: usize = 256;
+
+/// Completed-result memo: canonical key -> shared outcome, with FIFO
+/// eviction order.
+struct Memo {
+    map: HashMap<String, Arc<JobOutcome>>,
+    order: VecDeque<String>,
+}
+
+/// The compile service. Cheap to share behind an `Arc`; all methods
+/// take `&self`.
+pub struct Service {
+    cache: Arc<CellCache>,
+    jobs: usize,
+    in_flight: Mutex<HashMap<String, Arc<Slot>>>,
+    memo: Mutex<Memo>,
+    requests: AtomicU64,
+    executed: AtomicU64,
+    dedup_hits: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new()
+    }
+}
+
+impl Service {
+    /// A service on the process-wide cache with automatic parallelism.
+    pub fn new() -> Service {
+        Service::with_cache(Arc::clone(CellCache::global()), None)
+    }
+
+    /// A service on its own cold cache — for tests and benchmarks that
+    /// must observe cold-compile behaviour.
+    pub fn cold() -> Service {
+        Service::with_cache(Arc::new(CellCache::new()), None)
+    }
+
+    /// A service on an explicit cache with an explicit worker count
+    /// (`None` = `--jobs`-style automatic resolution).
+    pub fn with_cache(cache: Arc<CellCache>, jobs: Option<usize>) -> Service {
+        Service {
+            cache,
+            jobs: resolve_jobs(jobs),
+            in_flight: Mutex::new(HashMap::new()),
+            memo: Mutex::new(Memo {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            requests: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// `(requests, executed, dedup_hits)` so far. `executed` counts
+    /// jobs this service actually ran; `dedup_hits` counts submissions
+    /// that reused another submission's execution, whether by
+    /// piggybacking on it in flight or by hitting the result memo.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.executed.load(Ordering::Relaxed),
+            self.dedup_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Whether [`JobSpec::Shutdown`] has been accepted.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job and blocks until its outcome is available.
+    /// Returns the (shared) outcome and whether this submission was
+    /// deduplicated onto another caller's in-flight execution.
+    pub fn submit(&self, job: &JobSpec) -> (Arc<JobOutcome>, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        // Control-plane jobs answer immediately, bypassing dedup: they
+        // are cheap, and status/ping must work on a draining server.
+        match job {
+            JobSpec::Ping => {
+                return (
+                    Arc::new(Ok(JobResult {
+                        sections: vec![Section::new("pong.txt", "pong\n")],
+                    })),
+                    false,
+                )
+            }
+            JobSpec::Status => return (Arc::new(Ok(self.status_result())), false),
+            JobSpec::Shutdown => {
+                self.draining.store(true, Ordering::SeqCst);
+                return (
+                    Arc::new(Ok(JobResult {
+                        sections: vec![Section::new("shutdown.txt", "draining\n")],
+                    })),
+                    false,
+                );
+            }
+            _ => {}
+        }
+        if self.draining() {
+            return (Arc::new(Err(JobFailure::draining())), false);
+        }
+
+        let key = job.canonical();
+        if let Some(outcome) = self.memo_get(&key) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return (outcome, true);
+        }
+        let (slot, leader) = {
+            let mut map = self
+                .in_flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot::new());
+                    map.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        if leader {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            let outcome = Arc::new(self.execute(job));
+            {
+                let mut result = slot.result.lock().unwrap_or_else(|e| e.into_inner());
+                *result = Some(Arc::clone(&outcome));
+            }
+            slot.ready.notify_all();
+            // Memoize before dropping the in-flight entry so no window
+            // exists where a fresh submission finds the key in neither
+            // tier and re-executes.
+            self.memo_put(&key, &outcome);
+            self.in_flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
+            (outcome, false)
+        } else {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            let mut result = slot.result.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(outcome) = result.as_ref() {
+                    return (Arc::clone(outcome), true);
+                }
+                result = slot
+                    .ready
+                    .wait(result)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    fn memo_get(&self, key: &str) -> Option<Arc<JobOutcome>> {
+        self.memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .get(key)
+            .cloned()
+    }
+
+    /// Memoizes a *successful* outcome. Failures are never cached:
+    /// they keep their retry semantics, and a fixed environment (say,
+    /// more disk) should not be haunted by a stale error.
+    fn memo_put(&self, key: &str, outcome: &Arc<JobOutcome>) {
+        if outcome.is_err() {
+            return;
+        }
+        let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
+        if memo.map.contains_key(key) {
+            return;
+        }
+        if memo.map.len() >= MEMO_CAP {
+            if let Some(oldest) = memo.order.pop_front() {
+                memo.map.remove(&oldest);
+            }
+        }
+        memo.order.push_back(key.to_owned());
+        memo.map.insert(key.to_owned(), Arc::clone(outcome));
+    }
+
+    /// Blocks until no job is in flight. The daemon calls this after
+    /// the accept loop stops, so shutdown drains instead of aborting.
+    pub fn drain(&self) {
+        loop {
+            let empty = self
+                .in_flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+            if empty {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    fn status_result(&self) -> JobResult {
+        let (requests, executed, dedup_hits) = self.counters();
+        let mut text = String::new();
+        text.push_str(&format!("serve requests: {requests}\n"));
+        text.push_str(&format!("serve executed: {executed}\n"));
+        text.push_str(&format!("serve dedup_hits: {dedup_hits}\n"));
+        text.push_str(&format!("serve draining: {}\n", u8::from(self.draining())));
+        text.push_str(&format!("serve jobs: {}\n", self.jobs));
+        text.push_str(&format!(
+            "serve memo: {}\n",
+            self.memo.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+        ));
+        text.push_str(&format!("cache entries: {}\n", self.cache.len()));
+        text.push_str(&format!("cache hits: {}\n", self.cache.hits()));
+        text.push_str(&format!("cache misses: {}\n", self.cache.misses()));
+        for ks in self.cache.kind_stats() {
+            text.push_str(&format!(
+                "cache kind={} hits={} misses={}\n",
+                ks.kind, ks.hits, ks.misses
+            ));
+        }
+        JobResult {
+            sections: vec![Section::new("status.txt", text)],
+        }
+    }
+
+    fn execute(&self, job: &JobSpec) -> JobOutcome {
+        match job {
+            JobSpec::Compile(c) => self.run_compile(c, true, c.verify.mode().is_some()),
+            JobSpec::Characterize(c) => self.run_compile(c, false, false),
+            JobSpec::Verify(c) => self.run_compile(c, false, true),
+            JobSpec::RareYield(r) => self.run_rare(r),
+            JobSpec::Fleet(f) => self.run_fleet(f),
+            // Handled in submit(); unreachable here, but answer anyway
+            // instead of panicking.
+            JobSpec::Status => Ok(self.status_result()),
+            JobSpec::Ping => Ok(JobResult {
+                sections: vec![Section::new("pong.txt", "pong\n")],
+            }),
+            JobSpec::Shutdown => Ok(JobResult {
+                sections: vec![Section::new("shutdown.txt", "draining\n")],
+            }),
+        }
+    }
+
+    fn run_compile(&self, c: &CompileJob, artifacts: bool, verify: bool) -> JobOutcome {
+        let process = Process::by_name(&c.process)
+            .ok_or_else(|| JobFailure::bad_request(format!("unknown process {:?}", c.process)))?;
+        let params = RamParams::builder()
+            .words(c.words)
+            .bits_per_word(c.bpw)
+            .bits_per_column(c.bpc)
+            .spare_rows(c.spares)
+            .gate_size(c.gate_size)
+            .strap(c.strap_every, c.strap_lambda)
+            .process(process)
+            .build()
+            .map_err(|e| JobFailure::bad_request(e.to_string()))?;
+
+        let mut options = CompileOptions::new()
+            .with_cache(Arc::clone(&self.cache))
+            .with_jobs(self.jobs)
+            .with_verify(verify);
+        if let Some(mode) = c.verify.mode() {
+            options = options.with_verify_mode(mode);
+        }
+        let ram = compile_with(&params, &options)
+            .map_err(|e| JobFailure::job_failed(e.to_string()))?;
+
+        let mut sections = vec![Section::new("params.txt", JobSpec::Compile(c.clone()).canonical())];
+        if artifacts {
+            sections.push(Section::new("datasheet.txt", ram.datasheet().to_string()));
+            sections.push(Section::new(
+                "areas.txt",
+                format!(
+                    "{}\nBIST+BISR overhead: {:.3}% ({:.3}% counting spare rows)\nmodule: {:.4} mm2, utilization {:.1}%\n",
+                    ram.areas().report(),
+                    ram.areas().overhead_fraction() * 100.0,
+                    ram.areas().overhead_fraction_with_spares() * 100.0,
+                    ram.area_mm2(),
+                    ram.placement().utilization() * 100.0
+                ),
+            ));
+            sections.push(Section::new("floorplan.svg", ram.floorplan_svg()));
+            let (and_plane, or_plane) = ram.pla_planes();
+            sections.push(Section::new("trpla_and.plane", and_plane));
+            sections.push(Section::new("trpla_or.plane", or_plane));
+            sections.push(Section::new("sense_path.sp", ram.sense_path_spice()));
+            if c.cif {
+                if params.org().cells() > 200_000 {
+                    sections.push(Section::new(
+                        "layout.cif",
+                        "; skipped: module too large for a flattened export\n",
+                    ));
+                } else {
+                    sections.push(Section::new("layout.cif", ram.to_cif()));
+                }
+            }
+        }
+        let mut verify_clean = None;
+        if let Some(report) = ram.verify_report() {
+            verify_clean = Some(report.is_clean());
+            sections.push(Section::new("verify.txt", report.to_string()));
+        }
+
+        // The metric reduction the sweep orchestrator consumes. Keep
+        // the format stable: `metric <key>: <value>`, one per line.
+        let org = *params.org();
+        let overhead = ram.areas().overhead_fraction();
+        let yield_model = YieldModel::new(org, overhead);
+        let mttf = ReliabilityModel {
+            org,
+            lambda_per_hour: c.lambda,
+        }
+        .mttf_hours();
+        let y_bisr = yield_model.yield_with_bisr(c.defects);
+        let y_raw = yield_model.yield_without_bisr(c.defects);
+        let relative_cost = if y_bisr > 0.0 {
+            yield_model.growth_factor / y_bisr
+        } else {
+            f64::INFINITY
+        };
+        let mut metrics = String::new();
+        metrics.push_str(&format!("metric words: {}\n", c.words));
+        metrics.push_str(&format!("metric bpw: {}\n", c.bpw));
+        metrics.push_str(&format!("metric bpc: {}\n", c.bpc));
+        metrics.push_str(&format!("metric spares: {}\n", c.spares));
+        metrics.push_str(&format!("metric process: {}\n", c.process));
+        metrics.push_str(&format!("metric verify: {}\n", c.verify.name()));
+        metrics.push_str(&format!("metric area_mm2: {:.6}\n", ram.area_mm2()));
+        metrics.push_str(&format!(
+            "metric access_ns: {:.4}\n",
+            ram.datasheet().access_time_s * 1e9
+        ));
+        metrics.push_str(&format!("metric overhead_fraction: {overhead:.6}\n"));
+        metrics.push_str(&format!("metric yield_no_bisr: {y_raw:.6}\n"));
+        metrics.push_str(&format!("metric yield_bisr: {y_bisr:.6}\n"));
+        metrics.push_str(&format!(
+            "metric growth_factor: {:.6}\n",
+            yield_model.growth_factor
+        ));
+        metrics.push_str(&format!("metric relative_cost: {relative_cost:.6}\n"));
+        metrics.push_str(&format!("metric mttf_hours: {mttf:.3}\n"));
+        metrics.push_str(&format!(
+            "metric delay_masked: {}\n",
+            u8::from(params.delay_masking_guaranteed())
+        ));
+        if let Some(clean) = verify_clean {
+            metrics.push_str(&format!("metric verify_clean: {}\n", u8::from(clean)));
+        }
+        sections.push(Section::new("metrics.txt", metrics));
+
+        if verify_clean == Some(false) {
+            return Err(JobFailure::job_failed(
+                "physical verification found violations".to_owned(),
+            ));
+        }
+        Ok(JobResult { sections })
+    }
+
+    fn run_rare(&self, r: &RareJob) -> JobOutcome {
+        let process = Process::by_name(&r.process)
+            .ok_or_else(|| JobFailure::bad_request(format!("unknown process {:?}", r.process)))?;
+        let kernel = TrialKernel::by_name(&r.kernel)
+            .ok_or_else(|| JobFailure::bad_request(format!("unknown kernel {:?}", r.kernel)))?;
+
+        let mut engine = RareEngine::for_process(&process, kernel, 0.0);
+        let (pilot_mean, pilot_std) = engine.metric_stats(r.seed, r.pilot, self.jobs);
+        engine.threshold = engine.calibrate_threshold(r.seed, r.pilot, r.target_p, self.jobs);
+        let shifts = engine.find_shifts();
+        let is = engine.run_is_mixture(r.seed, r.trials, self.jobs, &shifts);
+
+        let mut text = String::new();
+        text.push_str(&format!("rare process: {}\n", r.process));
+        text.push_str(&format!("rare kernel: {}\n", kernel.name()));
+        text.push_str(&format!("rare pilot_trials: {}\n", r.pilot));
+        text.push_str(&format!("rare pilot_mean: {pilot_mean:.6e}\n"));
+        text.push_str(&format!("rare pilot_std: {pilot_std:.6e}\n"));
+        text.push_str(&format!("rare threshold: {:.6e}\n", engine.threshold));
+        text.push_str(&format!("rare modes: {}\n", shifts.len()));
+        text.push_str(&format!("rare is_trials: {}\n", is.trials));
+        text.push_str(&format!("rare is_failures: {}\n", is.failures));
+        text.push_str(&format!("rare is_p_fail: {:.6e}\n", is.p_fail));
+        text.push_str(&format!("rare is_std_error: {:.6e}\n", is.std_error()));
+        Ok(JobResult {
+            sections: vec![Section::new("rare.txt", text)],
+        })
+    }
+
+    fn run_fleet(&self, f: &FleetJob) -> JobOutcome {
+        let org = ArrayOrg::new(f.words, f.bpw, f.bpc, f.spares)
+            .map_err(|e| JobFailure::bad_request(e.to_string()))?;
+        let mut config = FieldConfig::new(org, f.lambda, f.period, f.horizon);
+        config.max_retries = f.retries;
+        config.transient_upset_probability = f.upset_prob;
+        config.spare_policy = f.policy;
+
+        let result = simulate_fleet_jobs(&config, f.lifetimes, f.seed, self.jobs);
+
+        let mut text = String::new();
+        text.push_str(&format!("fleet lifetimes: {}\n", result.lifetimes));
+        text.push_str(&format!("fleet deaths: {}\n", result.deaths));
+        text.push_str(&format!(
+            "fleet deaths_spare_fault: {}\n",
+            result.deaths_spare_fault
+        ));
+        text.push_str(&format!(
+            "fleet deaths_exhausted: {}\n",
+            result.deaths_exhausted
+        ));
+        text.push_str(&format!("fleet deaths_persist: {}\n", result.deaths_persist));
+        text.push_str(&format!("fleet sessions_run: {}\n", result.sessions_run));
+        text.push_str(&format!(
+            "fleet sessions_skipped: {}\n",
+            result.sessions_skipped
+        ));
+        text.push_str(&format!(
+            "fleet transients_dismissed: {}\n",
+            result.transients_dismissed
+        ));
+        text.push_str(&format!("fleet rows_repaired: {}\n", result.rows_repaired));
+        text.push_str(&format!("fleet mttf_hours: {:.3}\n", result.mttf_hours));
+        text.push_str("survival curve (t_hours  R_hat):\n");
+        for (t, rr) in result
+            .curve
+            .times_hours
+            .iter()
+            .zip(result.curve.survival.iter())
+        {
+            text.push_str(&format!("  {t:>12.1}  {rr:.6}\n"));
+        }
+        Ok(JobResult {
+            sections: vec![Section::new("fleet.txt", text)],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_compile(words: usize) -> JobSpec {
+        JobSpec::parse(&format!(
+            "job = characterize\nwords = {words}\nbpw = 8\nbpc = 4\nspares = 2\n"
+        ))
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn characterize_produces_stable_metrics() {
+        let service = Service::cold();
+        let (outcome, deduped) = service.submit(&small_compile(64));
+        assert!(!deduped);
+        let result = outcome.as_ref().as_ref().expect("job ok");
+        let metrics = result.section("metrics.txt").expect("metrics section");
+        assert!(metrics.contains("metric words: 64\n"), "{metrics}");
+        assert!(metrics.contains("metric area_mm2: "), "{metrics}");
+        assert!(metrics.contains("metric yield_bisr: "), "{metrics}");
+        assert!(metrics.contains("metric mttf_hours: "), "{metrics}");
+
+        // Identical resubmission hits the result memo: byte-identical,
+        // reported as a dedup, and no second execution.
+        let (again, deduped) = service.submit(&small_compile(64));
+        assert!(deduped, "sequential repeat must hit the memo");
+        assert_eq!(
+            again.as_ref().as_ref().expect("job ok").sections,
+            result.sections
+        );
+        let (_, executed, dedup_hits) = service.counters();
+        assert_eq!(executed, 1, "sequential repeat must not re-execute");
+        assert_eq!(dedup_hits, 1);
+
+        // A *different* point is not a memo hit.
+        let (_, deduped) = service.submit(&small_compile(128));
+        assert!(!deduped);
+        let (_, executed, _) = service.counters();
+        assert_eq!(executed, 2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_single_flight() {
+        let service = Arc::new(Service::cold());
+        let n = 8;
+        let outcomes: Vec<(Arc<JobOutcome>, bool)> =
+            bisram_exec::run_tasks(n, (0..n).map(|_| {
+                let service = Arc::clone(&service);
+                move || service.submit(&small_compile(128))
+            })
+            .collect());
+        let first = outcomes[0].0.as_ref().as_ref().expect("job ok");
+        for (outcome, _) in &outcomes {
+            assert_eq!(outcome.as_ref().as_ref().expect("job ok"), first);
+        }
+        let (requests, executed, dedup_hits) = service.counters();
+        assert_eq!(requests, n as u64);
+        assert_eq!(executed + dedup_hits, n as u64);
+        assert!(
+            executed < n as u64,
+            "at least one submission must dedup (executed={executed})"
+        );
+    }
+
+    #[test]
+    fn draining_rejects_new_work_with_retryable_503() {
+        let service = Service::cold();
+        let (ack, _) = service.submit(&JobSpec::Shutdown);
+        assert!(ack.is_ok());
+        let (outcome, _) = service.submit(&small_compile(64));
+        let failure = outcome.as_ref().as_ref().expect_err("rejected");
+        assert_eq!(failure.code, 503);
+        assert!(failure.retryable);
+        // Control plane still answers while draining.
+        let (status, _) = service.submit(&JobSpec::Status);
+        let text = status.as_ref().as_ref().expect("status ok").sections[0]
+            .content
+            .clone();
+        assert!(text.contains("serve draining: 1\n"), "{text}");
+    }
+
+    #[test]
+    fn status_surfaces_per_kind_cache_stats() {
+        let service = Service::cold();
+        let (_, _) = service.submit(&small_compile(64));
+        let (status, _) = service.submit(&JobSpec::Status);
+        let text = status.as_ref().as_ref().expect("status ok").sections[0]
+            .content
+            .clone();
+        assert!(text.contains("cache kind=control "), "{text}");
+        assert!(text.contains("cache kind=leaf "), "{text}");
+    }
+
+    #[test]
+    fn fleet_and_rare_jobs_run_end_to_end() {
+        let service = Service::cold();
+        let fleet = JobSpec::parse(
+            "job = fleet\nwords = 64\nbpw = 8\nbpc = 4\nspares = 2\nlifetimes = 20\n",
+        )
+        .expect("valid fleet spec");
+        let (outcome, _) = service.submit(&fleet);
+        let result = outcome.as_ref().as_ref().expect("fleet ok");
+        assert!(result.sections[0].content.contains("fleet lifetimes: 20\n"));
+
+        let rare = JobSpec::parse(
+            "job = rare-yield\ntrials = 32\npilot = 16\ntarget-p = 0.05\n",
+        )
+        .expect("valid rare spec");
+        let (outcome, _) = service.submit(&rare);
+        let result = outcome.as_ref().as_ref().expect("rare ok");
+        assert!(result.sections[0].content.contains("rare is_p_fail: "));
+    }
+}

@@ -414,3 +414,80 @@ fn different_seeds_actually_differ() {
     let b = random_faults(&mut b_rng, &org, 40, &mix);
     assert_ne!(a, b, "independent seeds produced identical fault lists");
 }
+
+#[test]
+fn serve_sections_are_byte_identical_across_services_and_worker_counts() {
+    use bisram_serve::{JobSpec, Service};
+
+    let spec = "job = characterize\nwords = 256\nbpw = 16\nbpc = 4\nspares = 3\nverify = hier\n";
+    let job = JobSpec::parse(spec).expect("spec parses");
+    let mut outputs = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let service = Service::with_cache(
+            std::sync::Arc::new(bisramgen::CellCache::new()),
+            Some(jobs),
+        );
+        let (outcome, dedup) = service.submit(&job);
+        assert!(!dedup);
+        let result = outcome.as_ref().as_ref().expect("job succeeds");
+        let flat: String = result
+            .sections
+            .iter()
+            .map(|s| format!("== {} ==\n{}", s.name, s.content))
+            .collect();
+        outputs.push((jobs, flat));
+    }
+    for (jobs, flat) in &outputs[1..] {
+        assert_eq!(
+            flat, &outputs[0].1,
+            "service sections differ between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_jobs_and_backends() {
+    use bisram_serve::{
+        run_sweep, Daemon, DaemonConfig, Listen, Service, SweepBackend, SweepSpec,
+    };
+    use std::sync::Arc;
+
+    let spec = SweepSpec::parse(
+        "words = 128, 256\nbpw = 8\nbpc = 4\nspares = 1, 3\nverify = none\n",
+    )
+    .expect("sweep spec parses");
+
+    // In-process at several concurrency levels...
+    let mut reports = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let service = Service::cold();
+        let backend = SweepBackend::InProcess(&service);
+        let report = run_sweep(&spec, &backend, Some(jobs)).expect("sweep runs");
+        reports.push((format!("in-process jobs={jobs}"), report.text));
+    }
+
+    // ...and through a live daemon.
+    let daemon = Daemon::start_with_service(
+        &DaemonConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_owned()),
+            jobs: Some(2),
+        },
+        Arc::new(Service::cold()),
+    )
+    .expect("daemon binds");
+    let backend = SweepBackend::Daemon(daemon.listen().clone());
+    let report = run_sweep(&spec, &backend, Some(4)).expect("daemon sweep runs");
+    reports.push(("daemon jobs=4".to_owned(), report.text));
+    daemon.stop();
+    daemon.join();
+
+    for (label, text) in &reports[1..] {
+        assert_eq!(
+            text, &reports[0].1,
+            "sweep report differs: {} vs {label}",
+            reports[0].0
+        );
+    }
+    assert!(reports[0].1.contains("sweep points: 4"));
+    assert!(reports[0].1.contains("sweep frontier: "));
+}
